@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation for the paper's Sec. 5 remark that "reducing the number of
+ * replica nodes does not change the protocols conceptually, but may
+ * affect performance": sweep the replication factor for Linearizable
+ * and Eventual consistency under Synchronous persistency and report
+ * throughput, per-write message cost, and write latency.
+ *
+ * Expected shape: messages per write scale with R-1, so traffic falls
+ * steeply with fewer replicas; latency and throughput move far less
+ * because the invalidation round's acknowledgments travel in parallel
+ * (the round trip, not the fan-out, dominates). The price of a small R
+ * is fewer durable copies.
+ */
+
+#include "bench_common.hh"
+
+using namespace ddp;
+using namespace ddp::bench;
+
+int
+main()
+{
+    printHeader("Ablation: replication factor (R of 5 servers, "
+                "Synchronous persistency)");
+
+    stats::Table t({"Model", "R", "Throughput(Mreq/s)", "Msgs/Write",
+                    "MeanWrite(ns)"});
+    for (core::Consistency c :
+         {core::Consistency::Linearizable,
+          core::Consistency::Eventual}) {
+        for (std::uint32_t factor : {2u, 3u, 5u}) {
+            cluster::ClusterConfig cfg = paperConfig(
+                {c, core::Persistency::Synchronous});
+            cfg.replicationFactor = factor;
+            cluster::RunResult r = runOne(cfg);
+            double mpw = r.writes == 0
+                             ? 0.0
+                             : static_cast<double>(r.messages) /
+                                   static_cast<double>(r.writes);
+            t.addRow({std::string(core::consistencyName(c)) +
+                          "+Synchronous",
+                      std::to_string(factor),
+                      stats::Table::num(r.throughput / 1e6, 1),
+                      stats::Table::num(mpw, 1),
+                      stats::Table::num(r.meanWriteNs, 0)});
+            std::cerr << "  ran " << core::consistencyName(c) << " R="
+                      << factor << "\n";
+        }
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark binaries.
+ *
+ * Each binary reproduces one table or figure of the MICRO'21 paper
+ * "Distributed Data Persistency" (see DESIGN.md for the experiment
+ * index). The paper's Table 5 configuration is the default: 5 servers,
+ * 20 clients per server, YCSB over a zipfian key space, 200 Gb/s NICs
+ * with a 1 us round trip, DRAM + NVM per server.
+ *
+ * Environment knobs:
+ *   DDP_BENCH_MEASURE_US  measurement window per run (default 3000)
+ *   DDP_BENCH_WARMUP_US   warmup window per run (default 1000)
+ */
+
+#ifndef DDP_BENCH_COMMON_HH
+#define DDP_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "cluster/cluster.hh"
+#include "stats/table.hh"
+
+namespace ddp::bench {
+
+inline std::uint64_t
+envOr(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    return v ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+/** Paper Table 5 default configuration. */
+inline cluster::ClusterConfig
+paperConfig(core::DdpModel model)
+{
+    cluster::ClusterConfig cfg;
+    cfg.model = model;
+    cfg.numServers = 5;
+    cfg.clientsPerServer = 20;
+    cfg.keyCount = 100000;
+    cfg.workload = workload::WorkloadSpec::ycsbA(cfg.keyCount);
+    cfg.warmup = envOr("DDP_BENCH_WARMUP_US", 1000) * sim::kMicrosecond;
+    cfg.measure =
+        envOr("DDP_BENCH_MEASURE_US", 3000) * sim::kMicrosecond;
+    cfg.seed = 42;
+    return cfg;
+}
+
+/** Build and run one experiment. */
+inline cluster::RunResult
+runOne(const cluster::ClusterConfig &cfg)
+{
+    cluster::Cluster c(cfg);
+    return c.run();
+}
+
+/** Short model label, e.g. "Linear+Synchronous". */
+inline std::string
+shortName(const core::DdpModel &m)
+{
+    std::string c;
+    switch (m.consistency) {
+      case core::Consistency::Linearizable: c = "Linear"; break;
+      case core::Consistency::ReadEnforced: c = "Read-Enforc"; break;
+      case core::Consistency::Transactional: c = "Xactional"; break;
+      case core::Consistency::Causal: c = "Causal"; break;
+      case core::Consistency::Eventual: c = "Eventual"; break;
+    }
+    return c + "+" + core::persistencyName(m.persistency);
+}
+
+inline void
+printHeader(const std::string &title)
+{
+    std::cout << "\n=== " << title << " ===\n\n";
+}
+
+} // namespace ddp::bench
+
+#endif // DDP_BENCH_COMMON_HH

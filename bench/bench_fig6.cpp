@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Reproduces paper Figure 6: performance of all 25 DDP models under
+ * YCSB-A with 100 clients on 5 servers. Six series are reported, each
+ * normalized to <Linearizable, Synchronous>:
+ *
+ *   (a) throughput            (b) mean read latency
+ *   (c) mean write latency    (d) mean access latency
+ *   (e) p95 read latency      (f) p95 write latency
+ *
+ * Expected shapes (paper Sec. 8.1): Linearizable-consistency models
+ * are slowest; Causal/Eventual reach 2-3x throughput and <Eventual,
+ * Eventual> ~3.3x; Strict persistency is the slowest bar per group;
+ * Read-Enforced consistency is only modestly above Linearizable
+ * because its reads stall on NVM pressure; under Linearizable,
+ * Synchronous persistency shows *lower* read latency than
+ * Read-Enforced persistency.
+ */
+
+#include <map>
+#include <vector>
+
+#include "bench_common.hh"
+
+using namespace ddp;
+using namespace ddp::bench;
+
+int
+main()
+{
+    printHeader("Figure 6: performance of the 25 DDP models "
+                "(YCSB-A, 100 clients, normalized to <Linear, "
+                "Synchronous>)");
+
+    std::map<std::string, cluster::RunResult> results;
+    cluster::RunResult base;
+    for (const core::DdpModel &m : core::allModels()) {
+        cluster::RunResult r = runOne(paperConfig(m));
+        results[shortName(m)] = r;
+        if (m.consistency == core::Consistency::Linearizable &&
+            m.persistency == core::Persistency::Synchronous) {
+            base = r;
+        }
+        std::cerr << "  ran " << core::modelName(m) << "\n";
+    }
+
+    struct Series
+    {
+        const char *title;
+        double (*get)(const cluster::RunResult &);
+    };
+    const std::vector<Series> series = {
+        {"(a) Throughput",
+         [](const cluster::RunResult &r) { return r.throughput; }},
+        {"(b) Mean Read Latency",
+         [](const cluster::RunResult &r) { return r.meanReadNs; }},
+        {"(c) Mean Write Latency",
+         [](const cluster::RunResult &r) { return r.meanWriteNs; }},
+        {"(d) Mean Latency",
+         [](const cluster::RunResult &r) { return r.meanNs; }},
+        {"(e) 95th Percentile Read Latency",
+         [](const cluster::RunResult &r) { return r.p95ReadNs; }},
+        {"(f) 95th Percentile Write Latency",
+         [](const cluster::RunResult &r) { return r.p95WriteNs; }},
+    };
+
+    for (const Series &s : series) {
+        std::cout << "\n--- " << s.title
+                  << " (normalized to <Linear, Synchronous>) ---\n";
+        stats::Table t({"Consistency", "Synchronous", "Strict",
+                        "Read-Enforced", "Scope", "Eventual"});
+        double norm = s.get(base);
+        for (core::Consistency c : core::allConsistencies()) {
+            std::vector<std::string> row{core::consistencyName(c)};
+            for (core::Persistency p :
+                 {core::Persistency::Synchronous,
+                  core::Persistency::Strict,
+                  core::Persistency::ReadEnforced,
+                  core::Persistency::Scope,
+                  core::Persistency::Eventual}) {
+                const cluster::RunResult &r =
+                    results[shortName({c, p})];
+                row.push_back(
+                    stats::Table::num(s.get(r) / norm, 2));
+            }
+            t.addRow(row);
+        }
+        t.print(std::cout);
+    }
+
+    std::cout << "\nraw absolute values for <Linear, Synchronous>: "
+              << stats::Table::num(base.throughput / 1e6, 2)
+              << " Mreq/s, mean read "
+              << stats::Table::num(base.meanReadNs, 0)
+              << " ns, mean write "
+              << stats::Table::num(base.meanWriteNs, 0) << " ns\n";
+    return 0;
+}

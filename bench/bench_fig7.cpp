@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces paper Figure 7: throughput sensitivity to the number of
+ * clients (10 / 100 / 150 total) for Linearizable and Causal
+ * consistency bound to all five persistency models. All bars are
+ * normalized to <Linearizable, Synchronous> at 100 clients.
+ *
+ * Expected shape: <Causal, Synchronous> and <Causal, Eventual> are
+ * insensitive to the client count once the system is loaded (their
+ * reads and writes never stall), while stalling models lose ground as
+ * clients grow (150-client bars flat or lower per added client).
+ *
+ * Known deviation (see EXPERIMENTS.md): the paper reports 2.2x higher
+ * absolute throughput for <Linearizable, Synchronous> at 10 clients
+ * than at 100. With closed-loop zero-think-time clients, 10 clients
+ * cannot saturate our simulated cluster, so the 10-client bars are
+ * offered-load-limited instead; the per-client degradation trend with
+ * growing client count is reproduced.
+ */
+
+#include "bench_common.hh"
+
+using namespace ddp;
+using namespace ddp::bench;
+
+int
+main()
+{
+    printHeader("Figure 7: sensitivity to the number of clients "
+                "(normalized to <Linear, Synchronous> @ 100 clients)");
+
+    const std::uint32_t client_counts[] = {10, 100, 150};
+    const core::Consistency consistencies[] = {
+        core::Consistency::Linearizable, core::Consistency::Causal};
+
+    double base = 0.0;
+    stats::Table t({"Clients", "Consistency", "Synchronous", "Strict",
+                    "Read-Enforced", "Scope", "Eventual"});
+
+    // First pass to compute the normalization base.
+    {
+        cluster::ClusterConfig cfg = paperConfig(
+            {core::Consistency::Linearizable,
+             core::Persistency::Synchronous});
+        cfg.clientsPerServer = 100 / cfg.numServers;
+        base = runOne(cfg).throughput;
+    }
+
+    for (std::uint32_t clients : client_counts) {
+        for (core::Consistency c : consistencies) {
+            std::vector<std::string> row{
+                std::to_string(clients) + "-clients",
+                core::consistencyName(c)};
+            for (core::Persistency p :
+                 {core::Persistency::Synchronous,
+                  core::Persistency::Strict,
+                  core::Persistency::ReadEnforced,
+                  core::Persistency::Scope,
+                  core::Persistency::Eventual}) {
+                cluster::ClusterConfig cfg = paperConfig({c, p});
+                cfg.clientsPerServer =
+                    std::max(1u, clients / cfg.numServers);
+                cluster::RunResult r = runOne(cfg);
+                row.push_back(
+                    stats::Table::num(r.throughput / base, 2));
+                std::cerr << "  ran " << core::modelName({c, p}) << " @ "
+                          << clients << " clients\n";
+            }
+            t.addRow(row);
+        }
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces paper Figure 8: throughput sensitivity to the NIC-to-NIC
+ * round-trip latency (0.5 / 1 / 2 us) for Linearizable and Causal
+ * consistency with all five persistency models, normalized to
+ * <Linearizable, Synchronous> at 1 us.
+ *
+ * Expected shape: Linearizable-consistency models degrade as the
+ * network slows (the transfer is on the critical path); Causal models
+ * are barely affected because updates propagate in the background.
+ */
+
+#include "bench_common.hh"
+
+using namespace ddp;
+using namespace ddp::bench;
+
+int
+main()
+{
+    printHeader("Figure 8: sensitivity to NIC-to-NIC round-trip latency "
+                "(normalized to <Linear, Synchronous> @ 1us)");
+
+    const sim::Tick rtts[] = {sim::kMicrosecond / 2, sim::kMicrosecond,
+                              2 * sim::kMicrosecond};
+    const char *rtt_names[] = {"0.5us", "1us", "2us"};
+    const core::Consistency consistencies[] = {
+        core::Consistency::Linearizable, core::Consistency::Causal};
+
+    double base = 0.0;
+    {
+        cluster::ClusterConfig cfg = paperConfig(
+            {core::Consistency::Linearizable,
+             core::Persistency::Synchronous});
+        base = runOne(cfg).throughput;
+    }
+
+    stats::Table t({"RTT", "Consistency", "Synchronous", "Strict",
+                    "Read-Enforced", "Scope", "Eventual"});
+    for (int i = 0; i < 3; ++i) {
+        for (core::Consistency c : consistencies) {
+            std::vector<std::string> row{rtt_names[i],
+                                         core::consistencyName(c)};
+            for (core::Persistency p :
+                 {core::Persistency::Synchronous,
+                  core::Persistency::Strict,
+                  core::Persistency::ReadEnforced,
+                  core::Persistency::Scope,
+                  core::Persistency::Eventual}) {
+                cluster::ClusterConfig cfg = paperConfig({c, p});
+                cfg.network.roundTrip = rtts[i];
+                cluster::RunResult r = runOne(cfg);
+                row.push_back(
+                    stats::Table::num(r.throughput / base, 2));
+                std::cerr << "  ran " << core::modelName({c, p}) << " @ "
+                          << rtt_names[i] << "\n";
+            }
+            t.addRow(row);
+        }
+    }
+    t.print(std::cout);
+    return 0;
+}

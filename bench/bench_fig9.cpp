@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces paper Figure 9: throughput sensitivity to the read/write
+ * mix — workload-B (95% reads), workload-A (50/50, the default), and
+ * the paper-defined workload-W (95% writes) — for Linearizable and
+ * Causal consistency with all five persistency models, normalized to
+ * <Linearizable, Synchronous> on workload-A.
+ *
+ * Expected shape: the more read-intensive the workload, the less the
+ * consistency/persistency models matter (they constrain writes).
+ */
+
+#include "bench_common.hh"
+
+using namespace ddp;
+using namespace ddp::bench;
+
+int
+main()
+{
+    printHeader("Figure 9: sensitivity to the read/write mix "
+                "(normalized to <Linear, Synchronous> @ workload-A)");
+
+    struct Mix
+    {
+        const char *name;
+        workload::WorkloadSpec (*make)(std::uint64_t);
+    };
+    const Mix mixes[] = {
+        {"workload-B", workload::WorkloadSpec::ycsbB},
+        {"workload-A", workload::WorkloadSpec::ycsbA},
+        {"workload-W", workload::WorkloadSpec::ycsbW},
+    };
+    const core::Consistency consistencies[] = {
+        core::Consistency::Linearizable, core::Consistency::Causal};
+
+    double base = 0.0;
+    {
+        cluster::ClusterConfig cfg = paperConfig(
+            {core::Consistency::Linearizable,
+             core::Persistency::Synchronous});
+        base = runOne(cfg).throughput;
+    }
+
+    stats::Table t({"Workload", "Consistency", "Synchronous", "Strict",
+                    "Read-Enforced", "Scope", "Eventual"});
+    for (const Mix &mix : mixes) {
+        for (core::Consistency c : consistencies) {
+            std::vector<std::string> row{mix.name,
+                                         core::consistencyName(c)};
+            for (core::Persistency p :
+                 {core::Persistency::Synchronous,
+                  core::Persistency::Strict,
+                  core::Persistency::ReadEnforced,
+                  core::Persistency::Scope,
+                  core::Persistency::Eventual}) {
+                cluster::ClusterConfig cfg = paperConfig({c, p});
+                cfg.workload = mix.make(cfg.keyCount);
+                cluster::RunResult r = runOne(cfg);
+                row.push_back(
+                    stats::Table::num(r.throughput / base, 2));
+                std::cerr << "  ran " << core::modelName({c, p}) << " @ "
+                          << mix.name << "\n";
+            }
+            t.addRow(row);
+        }
+    }
+    t.print(std::cout);
+    return 0;
+}

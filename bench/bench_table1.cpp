@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces paper Table 1: relative throughput of three environments
+ * on a 3-node cluster serving client write requests.
+ *
+ *   1. volatile updates AND NVM persists in the critical path
+ *      -> <Linearizable, Synchronous>
+ *   2. volatile updates in the critical path, persists lazy
+ *      -> <Linearizable, Eventual>
+ *   3. neither in the critical path
+ *      -> <Eventual, Eventual>
+ *
+ * Paper reference: 1 / 1.32 / 4.08.
+ */
+
+#include "bench_common.hh"
+
+using namespace ddp;
+using namespace ddp::bench;
+
+int
+main()
+{
+    printHeader("Table 1: impact of critical-path updates and persists "
+                "(3 nodes, write requests)");
+
+    auto configure = [](core::DdpModel m) {
+        cluster::ClusterConfig cfg = paperConfig(m);
+        cfg.numServers = 3;
+        // The motivation experiment issues write requests only.
+        cfg.workload.name = "writes";
+        cfg.workload.readFraction = 0.0;
+        return cfg;
+    };
+
+    cluster::RunResult strict = runOne(configure(
+        {core::Consistency::Linearizable,
+         core::Persistency::Synchronous}));
+    cluster::RunResult no_nvm = runOne(configure(
+        {core::Consistency::Linearizable, core::Persistency::Eventual}));
+    cluster::RunResult relaxed = runOne(configure(
+        {core::Consistency::Eventual, core::Persistency::Eventual}));
+
+    stats::Table t({"Volatile Updates in Critical Path?",
+                    "NVM Updates in Critical Path?",
+                    "Normalized Throughput", "Paper"});
+    double base = strict.throughput;
+    t.addRow({"Yes", "Yes", stats::Table::num(1.0, 2), "1"});
+    t.addRow({"Yes", "No",
+              stats::Table::num(no_nvm.throughput / base, 2), "1.32"});
+    t.addRow({"No", "No",
+              stats::Table::num(relaxed.throughput / base, 2), "4.08"});
+    t.print(std::cout);
+
+    std::cout << "\nabsolute throughput (Mreq/s): strict="
+              << stats::Table::num(strict.throughput / 1e6, 1)
+              << " volatile-only="
+              << stats::Table::num(no_nvm.throughput / 1e6, 1)
+              << " relaxed="
+              << stats::Table::num(relaxed.throughput / 1e6, 1) << "\n";
+    return 0;
+}

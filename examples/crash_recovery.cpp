@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Crash and recovery demonstration: run a workload under several DDP
+ * models, crash the whole cluster mid-run, recover with voting, and
+ * report what each model preserved — acked-write durability,
+ * monotonic reads, non-stale reads, replica divergence, and the
+ * modeled recovery time.
+ *
+ * Usage: crash_recovery [keys]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "cluster/cluster.hh"
+#include "stats/table.hh"
+#include "stats/timeseries.hh"
+
+using namespace ddp;
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t keys = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                  : 20000;
+
+    std::cout << "Crash + voting recovery across DDP models ("
+              << keys << " keys, crash mid-run)\n\n";
+
+    const core::DdpModel models[] = {
+        {core::Consistency::Linearizable,
+         core::Persistency::Synchronous},
+        {core::Consistency::Linearizable, core::Persistency::Scope},
+        {core::Consistency::Linearizable, core::Persistency::Eventual},
+        {core::Consistency::Causal, core::Persistency::Synchronous},
+        {core::Consistency::Eventual, core::Persistency::Eventual},
+    };
+
+    stats::Table t({"Model", "LostAckedKeys", "MonotViol", "StaleReads",
+                    "DivergentKeys", "RecoveryUs"});
+
+    stats::RateSeries causal_timeline(50 * sim::kMicrosecond);
+    for (const core::DdpModel &m : models) {
+        core::PropertyChecker checker;
+        cluster::ClusterConfig cfg;
+        cfg.model = m;
+        cfg.keyCount = keys;
+        cfg.workload = workload::WorkloadSpec::ycsbA(keys);
+        cfg.warmup = 300 * sim::kMicrosecond;
+        cfg.measure = 1000 * sim::kMicrosecond;
+
+        cluster::Cluster c(cfg);
+        c.setChecker(&checker);
+        if (m.consistency == core::Consistency::Causal)
+            c.setTimeline(&causal_timeline);
+        c.scheduleCrash(cfg.warmup + cfg.measure / 2);
+        cluster::RunResult r = c.run();
+
+        const cluster::RecoveryStats &rs = c.recoveries().at(0);
+        t.addRow({core::modelName(m),
+                  std::to_string(r.lostAckedWriteKeys),
+                  std::to_string(r.monotonicViolations),
+                  std::to_string(r.staleReads),
+                  std::to_string(rs.divergentKeys),
+                  stats::Table::num(sim::ticksToUs(rs.recoveryTime),
+                                    1)});
+    }
+    t.print(std::cout);
+
+    // Throughput over time for <Causal, Synchronous>: the crash dip
+    // and post-recovery ramp are visible as a bar per 50 us bucket.
+    std::cout << "\n<Causal, Synchronous> throughput timeline "
+                 "(50 us buckets, '#' ~ 4 Mreq/s):\n";
+    for (std::size_t b = 0; b < causal_timeline.buckets(); ++b) {
+        double mreqs = causal_timeline.rateAt(b) / 1e6;
+        std::cout << stats::Table::num(
+                         sim::ticksToUs(causal_timeline.bucketStart(b)),
+                         0)
+                  << "us ";
+        int bars = static_cast<int>(mreqs / 4.0);
+        for (int i = 0; i < bars; ++i)
+            std::cout << '#';
+        std::cout << ' ' << stats::Table::num(mreqs, 1) << "\n";
+    }
+
+    std::cout
+        << "\nHow to read this: strict DDP models (<Linearizable,\n"
+        << "Synchronous>) lose nothing and keep reads intuitive even\n"
+        << "across the crash. Relaxed persistency loses acknowledged\n"
+        << "writes (and with them non-stale reads); relaxed\n"
+        << "consistency loses read monotonicity even without the\n"
+        << "crash. Divergent keys show how far replicas' NVM images\n"
+        << "drifted before the voting recovery reconciled them.\n";
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Quickstart: build a 5-server cluster, pick a DDP model, run YCSB-A,
+ * and print the headline metrics.
+ *
+ * Usage: quickstart [consistency] [persistency]
+ *   consistency: linearizable | read-enforced | transactional |
+ *                causal | eventual        (default: causal)
+ *   persistency: strict | synchronous | read-enforced | scope |
+ *                eventual                 (default: synchronous)
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "cluster/cluster.hh"
+
+using namespace ddp;
+
+namespace {
+
+core::Consistency
+parseConsistency(const std::string &s)
+{
+    if (s == "linearizable") return core::Consistency::Linearizable;
+    if (s == "read-enforced") return core::Consistency::ReadEnforced;
+    if (s == "transactional") return core::Consistency::Transactional;
+    if (s == "causal") return core::Consistency::Causal;
+    if (s == "eventual") return core::Consistency::Eventual;
+    std::cerr << "unknown consistency '" << s << "', using causal\n";
+    return core::Consistency::Causal;
+}
+
+core::Persistency
+parsePersistency(const std::string &s)
+{
+    if (s == "strict") return core::Persistency::Strict;
+    if (s == "synchronous") return core::Persistency::Synchronous;
+    if (s == "read-enforced") return core::Persistency::ReadEnforced;
+    if (s == "scope") return core::Persistency::Scope;
+    if (s == "eventual") return core::Persistency::Eventual;
+    std::cerr << "unknown persistency '" << s << "', using synchronous\n";
+    return core::Persistency::Synchronous;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    cluster::ClusterConfig cfg;
+    cfg.model.consistency = argc > 1 ? parseConsistency(argv[1])
+                                     : core::Consistency::Causal;
+    cfg.model.persistency = argc > 2 ? parsePersistency(argv[2])
+                                     : core::Persistency::Synchronous;
+    cfg.warmup = 1 * sim::kMillisecond;
+    cfg.measure = 4 * sim::kMillisecond;
+
+    std::cout << "DDP model: " << core::modelName(cfg.model) << "\n"
+              << "Cluster:   " << cfg.numServers << " servers, "
+              << cfg.totalClients() << " clients, workload "
+              << cfg.workload.name << "\n\n";
+
+    cluster::Cluster cluster(cfg);
+    cluster::RunResult r = cluster.run();
+
+    std::cout << "throughput        " << r.throughput / 1e6
+              << " Mreq/s\n"
+              << "mean read  lat    " << r.meanReadNs << " ns\n"
+              << "mean write lat    " << r.meanWriteNs << " ns\n"
+              << "p95  read  lat    " << r.p95ReadNs << " ns\n"
+              << "p95  write lat    " << r.p95WriteNs << " ns\n"
+              << "reads / writes    " << r.reads << " / " << r.writes
+              << "\n"
+              << "messages          " << r.messages << "\n"
+              << "persists issued   " << r.persistsIssued << "\n";
+    if (r.xactStarted > 0) {
+        std::cout << "xacts started     " << r.xactStarted << "\n"
+                  << "xacts committed   " << r.xactCommitted << "\n"
+                  << "xacts aborted     " << r.xactAborted << "\n"
+                  << "conflict checks   " << r.xactConflicts << "\n";
+    }
+
+    core::ModelTraits t = core::traitsOf(cfg.model);
+    std::cout << "\nTable-4 traits: durability="
+              << core::levelName(t.durability)
+              << " performance=" << core::levelName(t.performance)
+              << " intuition=" << core::levelName(t.intuition)
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,267 @@
+#include "cluster/client.hh"
+
+#include "cluster/cluster.hh"
+
+namespace ddp::cluster {
+
+using core::OpCompletion;
+using core::OpContext;
+using core::OpKind;
+using core::OpResult;
+
+Client::Client(Cluster &owner, core::ProtocolNode &node, std::uint32_t id)
+    : owner(owner),
+      node(node),
+      clientId(id),
+      gen(owner.config().workload, owner.config().seed, id + 1),
+      rng(owner.config().seed ^ 0xc11e47, id + 1)
+{
+    const workload::Trace *trace = owner.config().trace;
+    if (trace && !trace->empty()) {
+        // Stagger replay start positions so clients do not move in
+        // lockstep over the same keys.
+        std::size_t stride =
+            trace->size() / std::max(1u, owner.config().totalClients());
+        cursor.emplace(*trace, stride * id);
+    }
+}
+
+workload::Op
+Client::nextOp()
+{
+    return cursor ? cursor->next() : gen.next();
+}
+
+bool
+Client::transactional() const
+{
+    return owner.config().model.consistency ==
+           core::Consistency::Transactional;
+}
+
+bool
+Client::scoped() const
+{
+    return owner.config().model.persistency == core::Persistency::Scope;
+}
+
+std::uint64_t
+Client::currentScopeId() const
+{
+    return (static_cast<std::uint64_t>(clientId) + 1) << 32 | scopeSeq;
+}
+
+void
+Client::start()
+{
+    issueNext();
+}
+
+void
+Client::restartAt(sim::Tick resume_at)
+{
+    ++generation;
+    xactOps.clear();
+    opsSinceScopePersist = 0;
+    ++scopeSeq;
+    std::uint32_t g = generation;
+    owner.queue().schedule(resume_at, [this, g] {
+        if (g == generation)
+            issueNext();
+    });
+}
+
+void
+Client::issueNext()
+{
+    sim::Tick think = owner.config().clientThinkTime;
+    if (think > 0) {
+        std::uint32_t g = generation;
+        owner.queue().scheduleIn(think, [this, g] {
+            if (g == generation)
+                issueNow();
+        });
+        return;
+    }
+    issueNow();
+}
+
+void
+Client::issueNow()
+{
+    if (scoped() && opsSinceScopePersist >= owner.config().scopeLength) {
+        issueScopePersist();
+        return;
+    }
+    if (transactional()) {
+        beginXactBatch();
+    } else {
+        issuePlainOp();
+    }
+}
+
+void
+Client::issuePlainOp()
+{
+    workload::Op op = nextOp();
+    ++issued;
+    OpContext ctx;
+    ctx.scopeId = scoped() ? currentScopeId() : 0;
+    std::uint32_t g = generation;
+    OpCompletion cb = [this, g](const OpResult &r) {
+        if (g != generation)
+            return;
+        owner.recordOp(r.kind, r.latency());
+        ++opsSinceScopePersist;
+        issueNext();
+    };
+    // Under partial replication the client routes each request to a
+    // replica of the key (smart-client partition awareness).
+    core::ProtocolNode &target = owner.nodeForKey(op.key, clientId);
+    if (op.type == workload::OpType::Read)
+        target.clientRead(op.key, ctx, std::move(cb));
+    else
+        target.clientWrite(op.key, ctx, std::move(cb));
+}
+
+void
+Client::issueScopePersist()
+{
+    std::uint32_t g = generation;
+    node.clientPersistScope(currentScopeId(), [this, g](const OpResult &r) {
+        if (g != generation)
+            return;
+        owner.recordOp(r.kind, r.latency());
+        opsSinceScopePersist = 0;
+        ++scopeSeq;
+        issueNext();
+    });
+}
+
+// --------------------------------------------------------------------------
+// Transactions
+// --------------------------------------------------------------------------
+
+void
+Client::beginXactBatch()
+{
+    std::uint32_t len = owner.config().xactLength;
+    xactOps.clear();
+    for (std::uint32_t i = 0; i < len; ++i)
+        xactOps.push_back(nextOp());
+    xactFirstIssue.assign(len, 0);
+    xactOpDone.assign(len, 0);
+    startXactAttempt();
+}
+
+void
+Client::startXactAttempt()
+{
+    ++xactSeq;
+    curXactId = (static_cast<std::uint64_t>(clientId) + 1) << 32 | xactSeq;
+    std::uint32_t g = generation;
+    node.clientInitXact(curXactId, [this, g](const OpResult &r) {
+        if (g != generation)
+            return;
+        if (r.aborted) {
+            retryXactAfterBackoff();
+            return;
+        }
+        issueXactOp(0);
+    });
+}
+
+void
+Client::issueXactOp(std::size_t index)
+{
+    if (index >= xactOps.size()) {
+        finishXactAttempt();
+        return;
+    }
+    const workload::Op &op = xactOps[index];
+    if (xactFirstIssue[index] == 0) {
+        xactFirstIssue[index] = owner.now();
+        ++issued;
+    }
+    OpContext ctx;
+    ctx.xactId = curXactId;
+    ctx.scopeId = scoped() ? currentScopeId() : 0;
+    std::uint32_t g = generation;
+    OpCompletion cb = [this, g, index](const OpResult &r) {
+        if (g != generation)
+            return;
+        if (r.aborted) {
+            node.clientEndXact(curXactId, false,
+                               [this, g](const OpResult &) {
+                if (g == generation)
+                    retryXactAfterBackoff();
+            });
+            return;
+        }
+        xactOpDone[index] = r.completedAt;
+        issueXactOp(index + 1);
+    };
+    if (op.type == workload::OpType::Read)
+        node.clientRead(op.key, ctx, std::move(cb));
+    else
+        node.clientWrite(op.key, ctx, std::move(cb));
+}
+
+void
+Client::finishXactAttempt()
+{
+    std::uint32_t g = generation;
+    node.clientEndXact(curXactId, true, [this, g](const OpResult &r) {
+        if (g != generation)
+            return;
+        if (r.aborted) {
+            retryXactAfterBackoff();
+            return;
+        }
+        xactRetries = 0;
+        commitRecorded(r.completedAt);
+        opsSinceScopePersist +=
+            static_cast<std::uint32_t>(xactOps.size());
+        issueNext();
+    });
+}
+
+void
+Client::commitRecorded(sim::Tick end_completed)
+{
+    // Reads count with their own response times; writes become truly
+    // visible at the transaction end (the VP of Transactional
+    // consistency), so their latency extends to ENDX completion. Both
+    // span every retry of the transaction.
+    for (std::size_t i = 0; i < xactOps.size(); ++i) {
+        if (xactOps[i].type == workload::OpType::Read) {
+            owner.recordOp(OpKind::Read,
+                           xactOpDone[i] - xactFirstIssue[i]);
+        } else {
+            owner.recordOp(OpKind::Write,
+                           end_completed - xactFirstIssue[i]);
+        }
+    }
+}
+
+void
+Client::retryXactAfterBackoff()
+{
+    // Exponential backoff breaks retry livelock on hot zipfian keys:
+    // contended clients drain out of the active-transaction set until
+    // the conflict probability is sustainable.
+    if (xactRetries < 6)
+        ++xactRetries;
+    sim::Tick window = owner.config().xactRetryBackoff << xactRetries;
+    sim::Tick delay =
+        window == 0
+            ? 0
+            : rng.nextU64() % window;
+    std::uint32_t g = generation;
+    owner.queue().scheduleIn(delay, [this, g] {
+        if (g == generation)
+            startXactAttempt();
+    });
+}
+
+} // namespace ddp::cluster

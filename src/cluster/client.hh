@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Closed-loop client model.
+ *
+ * Each client is bound to one server (its coordinator), draws
+ * operations from its own YCSB generator stream, and issues the next
+ * request as soon as the previous one completes — the paper's
+ * client-thread model. Under Transactional consistency the client
+ * groups requests into transactions of cfg.xactLength operations and
+ * retries squashed transactions after a random backoff; under Scope
+ * persistency it emits a scope-persist request every cfg.scopeLength
+ * operations.
+ */
+
+#ifndef DDP_CLUSTER_CLIENT_HH
+#define DDP_CLUSTER_CLIENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include <optional>
+
+#include "ddp/protocol_node.hh"
+#include "sim/random.hh"
+#include "workload/trace.hh"
+#include "workload/ycsb.hh"
+
+namespace ddp::cluster {
+
+class Cluster;
+
+/** One closed-loop client thread. */
+class Client
+{
+  public:
+    Client(Cluster &owner, core::ProtocolNode &node, std::uint32_t id);
+
+    /** Begin issuing requests (schedules the first at the current tick). */
+    void start();
+
+    /**
+     * Abandon any in-flight request (a crash invalidated it) and
+     * resume the request loop at @p resume_at.
+     */
+    void restartAt(sim::Tick resume_at);
+
+    std::uint32_t id() const { return clientId; }
+    std::uint64_t opsIssued() const { return issued; }
+
+  private:
+    bool transactional() const;
+    bool scoped() const;
+    std::uint64_t currentScopeId() const;
+
+    void issueNext();
+    void issueNow();
+    void issuePlainOp();
+    void issueScopePersist();
+
+    void beginXactBatch();
+    void startXactAttempt();
+    void issueXactOp(std::size_t index);
+    void finishXactAttempt();
+    void retryXactAfterBackoff();
+    void commitRecorded(sim::Tick end_completed);
+
+    /** Next operation: from the replay trace or the generator. */
+    workload::Op nextOp();
+
+    Cluster &owner;
+    core::ProtocolNode &node;
+    std::uint32_t clientId;
+    workload::OpGenerator gen;
+    std::optional<workload::TraceCursor> cursor;
+    sim::Pcg32 rng;
+
+    std::uint32_t generation = 0;
+    std::uint64_t issued = 0;
+
+    // Scope state.
+    std::uint64_t scopeSeq = 1;
+    std::uint32_t opsSinceScopePersist = 0;
+
+    // Transaction state.
+    std::uint64_t xactSeq = 0;
+    std::uint64_t curXactId = 0;
+    std::uint32_t xactRetries = 0;
+    std::vector<workload::Op> xactOps;
+    std::vector<sim::Tick> xactFirstIssue;
+    std::vector<sim::Tick> xactOpDone;
+};
+
+} // namespace ddp::cluster
+
+#endif // DDP_CLUSTER_CLIENT_HH

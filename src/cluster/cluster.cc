@@ -1,0 +1,333 @@
+#include "cluster/cluster.hh"
+
+#include <cassert>
+
+namespace ddp::cluster {
+
+Cluster::Cluster(const ClusterConfig &config)
+    : cfg(config), rmap(config.numServers, config.replicationFactor)
+{
+    assert(cfg.numServers >= 2 && "need at least one follower");
+
+    net = std::make_unique<net::Fabric>(eq, cfg.network, cfg.numServers);
+
+    core::NodeParams np = cfg.node;
+    np.model = cfg.model;
+    np.numNodes = cfg.numServers;
+    np.replicationFactor = cfg.replicationFactor;
+    np.keyCount = cfg.keyCount;
+
+    for (std::uint32_t n = 0; n < cfg.numServers; ++n) {
+        nodes.push_back(std::make_unique<core::ProtocolNode>(
+            eq, *net, n, np, ctr, &xactTable));
+    }
+
+    for (std::uint32_t c = 0; c < cfg.totalClients(); ++c) {
+        clients.push_back(std::make_unique<Client>(
+            *this, *nodes[c % cfg.numServers], c));
+    }
+}
+
+Cluster::~Cluster() = default;
+
+core::ProtocolNode &
+Cluster::nodeForKey(net::KeyId key, std::uint32_t client_id)
+{
+    if (rmap.full())
+        return *nodes[client_id % cfg.numServers];
+    return *nodes[rmap.coordinatorFor(key, client_id)];
+}
+
+void
+Cluster::setChecker(core::PropertyChecker *c)
+{
+    checker = c;
+    for (auto &n : nodes)
+        n->setSink(c);
+}
+
+void
+Cluster::recordOp(core::OpKind kind, sim::Tick latency)
+{
+    if (timeline &&
+        (kind == core::OpKind::Read || kind == core::OpKind::Write)) {
+        timeline->record(eq.now());
+    }
+    if (!recording)
+        return;
+    switch (kind) {
+      case core::OpKind::Read:
+        readLat.record(latency);
+        allLat.record(latency);
+        break;
+      case core::OpKind::Write:
+        writeLat.record(latency);
+        allLat.record(latency);
+        break;
+      default:
+        // InitXact/EndXact/PersistScope pace the clients but are not
+        // client requests in the paper's throughput accounting.
+        break;
+    }
+}
+
+void
+Cluster::scheduleCrash(sim::Tick at)
+{
+    eq.schedule(at, [this] { crashNow(); });
+}
+
+void
+Cluster::schedulePartialCrash(sim::Tick at,
+                              std::vector<net::NodeId> victims)
+{
+    eq.schedule(at, [this, victims = std::move(victims)] {
+        crashPartial(victims);
+    });
+}
+
+void
+Cluster::crashPartial(const std::vector<net::NodeId> &victims)
+{
+    std::vector<bool> crashed(nodes.size(), false);
+    for (net::NodeId v : victims) {
+        assert(v < nodes.size());
+        crashed[v] = true;
+    }
+
+    // Victims lose volatile state; survivors abandon in-flight
+    // exchanges (their rounds reference peers that just died).
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+        if (crashed[n])
+            nodes[n]->crashVolatile();
+        else
+            nodes[n]->abortInFlight();
+    }
+    xactTable.clear();
+
+    // Victims rebuild each key from the freshest surviving copy: a
+    // surviving replica's volatile version, or failing that the best
+    // NVM copy among all replicas.
+    RecoveryStats rs;
+    for (net::KeyId key = 0; key < cfg.keyCount; ++key) {
+        net::Version best{};
+        for (std::uint32_t i = 0; i < rmap.factor(); ++i) {
+            net::NodeId rep = rmap.replica(key, i);
+            net::Version v = crashed[rep]
+                                 ? nodes[rep]->persistedVersion(key)
+                                 : nodes[rep]->visibleVersion(key);
+            if (best < v)
+                best = v;
+        }
+        if (best.number == 0)
+            continue;
+        ++rs.keysInstalled;
+        // Recovery reconciles the whole replica set: victims rebuild
+        // their state and survivors adopt versions whose VAL died with
+        // the crash (anti-entropy), so all replicas agree afterwards.
+        for (std::uint32_t i = 0; i < rmap.factor(); ++i)
+            nodes[rmap.replica(key, i)]->installRecovered(key, best);
+    }
+    // State transfer: victims stream their share of keys from peers.
+    rs.recoveryTime =
+        cfg.network.roundTrip +
+        (rs.keysInstalled / std::max<std::size_t>(1, nodes.size())) *
+            cfg.network.serializationTicks(64);
+
+    if (checker) {
+        rs.lostAckedWriteKeys = checker->auditLostWrites(
+            [this](net::KeyId key) {
+                net::Version best{};
+                for (std::uint32_t i = 0; i < rmap.factor(); ++i) {
+                    net::Version v = nodes[rmap.replica(key, i)]
+                                         ->visibleVersion(key);
+                    if (best < v)
+                        best = v;
+                }
+                return best;
+            });
+    }
+
+    recoveryLog.push_back(rs);
+    lostKeysTotal += rs.lostAckedWriteKeys;
+    sim::Tick resume = eq.now() + rs.recoveryTime;
+    for (auto &c : clients)
+        c->restartAt(resume);
+}
+
+void
+Cluster::crashNow()
+{
+    if (cfg.recovery == RecoveryPolicy::SimulatedVoting) {
+        // Lose volatile state everywhere, then run the voting recovery
+        // as a real message protocol; clients resume when it reports.
+        for (auto &n : nodes)
+            n->crashVolatile();
+        xactTable.clear();
+        nodes[0]->recoveryAgent().startCoordinator(
+            cfg.keyCount, cfg.recoveryBatch,
+            [this](const core::RecoveryReport &report) {
+                RecoveryStats rs;
+                rs.keysInstalled = report.keysInstalled;
+                rs.divergentKeys = report.divergentKeys;
+                rs.recoveryTime = report.duration();
+                if (checker) {
+                    rs.lostAckedWriteKeys = checker->auditLostWrites(
+                        [this](net::KeyId key) {
+                            return nodes[rmap.home(key)]->visibleVersion(
+                                key);
+                        });
+                }
+                recoveryLog.push_back(rs);
+                lostKeysTotal += rs.lostAckedWriteKeys;
+                for (auto &c : clients)
+                    c->restartAt(eq.now());
+            });
+        return;
+    }
+
+    RecoveryStats rs = recoverAll();
+    recoveryLog.push_back(rs);
+    lostKeysTotal += rs.lostAckedWriteKeys;
+    xactTable.clear();
+    sim::Tick resume = eq.now() + rs.recoveryTime;
+    for (auto &c : clients)
+        c->restartAt(resume);
+}
+
+RecoveryStats
+Cluster::recoverAll()
+{
+    RecoveryStats rs;
+    for (auto &n : nodes)
+        n->crashVolatile();
+
+    if (cfg.recovery == RecoveryPolicy::Voting) {
+        std::uint64_t divergent = 0;
+        std::uint64_t installed = 0;
+        for (net::KeyId key = 0; key < cfg.keyCount; ++key) {
+            // Only the key's replicas vote and receive the winner.
+            net::Version best{};
+            bool differ = false;
+            bool first = true;
+            net::Version first_seen{};
+            for (std::uint32_t i = 0; i < rmap.factor(); ++i) {
+                net::Version v =
+                    nodes[rmap.replica(key, i)]->persistedVersion(key);
+                if (first) {
+                    first_seen = v;
+                    first = false;
+                } else if (v != first_seen) {
+                    differ = true;
+                }
+                if (best < v)
+                    best = v;
+            }
+            if (differ)
+                ++divergent;
+            if (best.number > 0) {
+                ++installed;
+                for (std::uint32_t i = 0; i < rmap.factor(); ++i)
+                    nodes[rmap.replica(key, i)]->installRecovered(key,
+                                                                  best);
+            }
+        }
+        rs.divergentKeys = divergent;
+        rs.keysInstalled = installed;
+        // The vote exchanges per-key version summaries in batches of
+        // 4096 per round trip, then ships divergent lines.
+        std::uint64_t rounds = cfg.keyCount / 4096 + 1;
+        rs.recoveryTime =
+            rounds * cfg.network.roundTrip +
+            divergent * cfg.network.serializationTicks(64);
+    } else {
+        // Local-only: every node replays its own NVM; cost is a scan.
+        for (net::KeyId key = 0; key < cfg.keyCount; ++key) {
+            if (nodes[rmap.home(key)]->persistedVersion(key).number > 0)
+                ++rs.keysInstalled;
+        }
+        rs.recoveryTime =
+            cfg.keyCount * cfg.node.nvmParams.readLatency /
+            (cfg.node.nvmParams.channels *
+             cfg.node.nvmParams.banksPerChannel);
+    }
+
+    if (checker) {
+        rs.lostAckedWriteKeys = checker->auditLostWrites(
+            [this](net::KeyId key) {
+                // The key's home replica holds the recovered version.
+                return nodes[rmap.home(key)]->visibleVersion(key);
+            });
+        // Post-recovery reads start from a clean slate of completed
+        // writes; pre-crash completions that survived are re-learned,
+        // and those that were lost should not flag every future read.
+    }
+    return rs;
+}
+
+RunResult
+Cluster::run()
+{
+    assert(!ran && "a Cluster can only run once");
+    ran = true;
+
+    for (auto &c : clients) {
+        Client *cp = c.get();
+        eq.schedule(0, [cp] { cp->start(); });
+    }
+
+    eq.runUntil(cfg.warmup);
+
+    auto ctr_snap = ctr.snapshot();
+    std::uint64_t msg_snap = net->totalMessages();
+    std::uint64_t bytes_snap = net->totalBytes();
+    readLat.clear();
+    writeLat.clear();
+    allLat.clear();
+    recording = true;
+
+    eq.runUntil(cfg.warmup + cfg.measure);
+    recording = false;
+
+    RunResult res;
+    res.reads = readLat.count();
+    res.writes = writeLat.count();
+    res.throughput =
+        cfg.measure == 0
+            ? 0.0
+            : static_cast<double>(res.reads + res.writes) /
+                  sim::ticksToSeconds(cfg.measure);
+    res.meanReadNs = readLat.mean() / sim::kNanosecond;
+    res.meanWriteNs = writeLat.mean() / sim::kNanosecond;
+    res.meanNs = allLat.mean() / sim::kNanosecond;
+    res.p95ReadNs =
+        static_cast<double>(readLat.p95()) / sim::kNanosecond;
+    res.p95WriteNs =
+        static_cast<double>(writeLat.p95()) / sim::kNanosecond;
+
+    res.counters = ctr.diff(ctr_snap);
+    res.messages = net->totalMessages() - msg_snap;
+    res.networkBytes = net->totalBytes() - bytes_snap;
+    res.persistsIssued = res.counters["persists_issued"];
+    res.readsStalledVisibility =
+        res.counters["reads_stalled_visibility"];
+    res.readsStalledPersist = res.counters["reads_stalled_persist"];
+    res.xactStarted = res.counters["xact_started"];
+    res.xactCommitted = res.counters["xact_committed"];
+    res.xactAborted = res.counters["xact_aborted"];
+    res.xactConflicts = res.counters["xact_conflicts"];
+
+    for (auto &n : nodes) {
+        if (n->causalBufferPeak() > res.causalBufferPeak)
+            res.causalBufferPeak = n->causalBufferPeak();
+    }
+
+    if (checker) {
+        res.monotonicViolations = checker->monotonicViolations();
+        res.staleReads = checker->staleReads();
+        res.lostAckedWriteKeys = lostKeysTotal;
+    }
+    return res;
+}
+
+} // namespace ddp::cluster

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Cluster assembly and experiment runner.
+ *
+ * A Cluster builds the full simulated system from a ClusterConfig —
+ * servers (protocol nodes with their cores, caches, DRAM/NVM, store
+ * backends), the NIC fabric, and the closed-loop clients — and runs
+ * warmup + measurement windows, returning the metrics the paper's
+ * evaluation reports. It also provides full-system crash injection with
+ * voting-based or local-only recovery for the durability experiments.
+ */
+
+#ifndef DDP_CLUSTER_CLUSTER_HH
+#define DDP_CLUSTER_CLUSTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "cluster/client.hh"
+#include "cluster/config.hh"
+#include "cluster/run_result.hh"
+#include "ddp/checkers.hh"
+#include "ddp/protocol_node.hh"
+#include "ddp/replication.hh"
+#include "ddp/xact_table.hh"
+#include "net/fabric.hh"
+#include "sim/event_queue.hh"
+#include "stats/counter.hh"
+#include "stats/histogram.hh"
+#include "stats/timeseries.hh"
+
+namespace ddp::cluster {
+
+/** A fully assembled simulated cluster. */
+class Cluster
+{
+  public:
+    explicit Cluster(const ClusterConfig &config);
+    ~Cluster();
+
+    Cluster(const Cluster &) = delete;
+    Cluster &operator=(const Cluster &) = delete;
+
+    /** Attach a property checker to every node's observation stream. */
+    void setChecker(core::PropertyChecker *c);
+
+    /**
+     * Attach a completion-rate timeline: every client request
+     * completion (including warmup) is recorded into @p series,
+     * enabling throughput-over-time plots such as the dip and ramp
+     * around an injected crash.
+     */
+    void setTimeline(stats::RateSeries *series) { timeline = series; }
+
+    /**
+     * Inject a full-system crash at absolute simulated time @p at
+     * (must be before the run ends). Volatile state is lost, recovery
+     * runs per the configured policy, and clients resume afterwards.
+     */
+    void scheduleCrash(sim::Tick at);
+
+    /**
+     * Inject a partial crash: the listed @p victims lose their volatile
+     * state and rebuild each key from the freshest surviving copy
+     * (surviving replicas' volatile state or any replica's NVM);
+     * survivors only abandon in-flight protocol exchanges, as their
+     * timeouts would in a real deployment.
+     */
+    void schedulePartialCrash(sim::Tick at,
+                              std::vector<net::NodeId> victims);
+
+    /** Run warmup + measurement; may be called once per Cluster. */
+    RunResult run();
+
+    // --- Introspection (tests, benches) -----------------------------------
+    const ClusterConfig &config() const { return cfg; }
+    sim::EventQueue &queue() { return eq; }
+    net::Fabric &fabric() { return *net; }
+    core::ProtocolNode &node(std::size_t i) { return *nodes[i]; }
+    std::size_t numNodes() const { return nodes.size(); }
+    stats::CounterRegistry &counters() { return ctr; }
+    const std::vector<RecoveryStats> &recoveries() const
+    {
+        return recoveryLog;
+    }
+
+    // --- Client support ------------------------------------------------------
+    /** Record a completed client request (measurement window only). */
+    void recordOp(core::OpKind kind, sim::Tick latency);
+    sim::Tick now() const { return eq.now(); }
+
+    /**
+     * Coordinator a client should use for @p key: under partial
+     * replication, one of the key's replicas (clients are
+     * partition-aware, as real smart clients are); under full
+     * replication, the client's affinity node.
+     */
+    core::ProtocolNode &nodeForKey(net::KeyId key,
+                                   std::uint32_t client_id);
+
+  private:
+    void crashNow();
+    void crashPartial(const std::vector<net::NodeId> &victims);
+    RecoveryStats recoverAll();
+
+    ClusterConfig cfg;
+    core::ReplicaMap rmap;
+    sim::EventQueue eq;
+    stats::CounterRegistry ctr;
+    core::XactConflictTable xactTable;
+    std::unique_ptr<net::Fabric> net;
+    std::vector<std::unique_ptr<core::ProtocolNode>> nodes;
+    std::vector<std::unique_ptr<Client>> clients;
+    core::PropertyChecker *checker = nullptr;
+    stats::RateSeries *timeline = nullptr;
+
+    bool recording = false;
+    stats::Histogram readLat;
+    stats::Histogram writeLat;
+    stats::Histogram allLat;
+
+    std::vector<RecoveryStats> recoveryLog;
+    std::uint64_t lostKeysTotal = 0;
+    bool ran = false;
+};
+
+} // namespace ddp::cluster
+
+#endif // DDP_CLUSTER_CLUSTER_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Cluster-level experiment configuration (paper Table 5 defaults).
+ *
+ * The defaults model the paper's evaluated system: 5 servers, 20
+ * clients per server (100 total), 20 worker cores per server, DRAM +
+ * NVM per server, 200 Gb/s NICs with a 1 us round trip, YCSB-A over a
+ * zipfian key space, transactions of 5 client requests and scopes of
+ * 10 client requests.
+ */
+
+#ifndef DDP_CLUSTER_CONFIG_HH
+#define DDP_CLUSTER_CONFIG_HH
+
+#include <cstdint>
+
+#include "ddp/models.hh"
+#include "ddp/protocol_node.hh"
+#include "net/fabric.hh"
+#include "sim/ticks.hh"
+#include "workload/trace.hh"
+#include "workload/ycsb.hh"
+
+namespace ddp::cluster {
+
+/** How the cluster reconstructs state after a crash. */
+enum class RecoveryPolicy
+{
+    /** Each node restores only its own NVM contents. */
+    LocalOnly,
+    /**
+     * Voting-based recovery (paper Sec. 9): nodes exchange persisted
+     * versions and install the cluster-wide maximum everywhere.
+     * Applied instantaneously with a closed-form time estimate.
+     */
+    Voting,
+    /**
+     * The same voting algorithm executed as an actual message protocol
+     * over the simulated fabric (ddp/recovery.hh): recovery time
+     * emerges from network and processing timing.
+     */
+    SimulatedVoting,
+};
+
+/** Everything an experiment needs to build and run a cluster. */
+struct ClusterConfig
+{
+    core::DdpModel model{};
+
+    std::uint32_t numServers = 5;
+    std::uint32_t clientsPerServer = 20;
+    /** Replicas per key; 0 = full replication (the paper's setting). */
+    std::uint32_t replicationFactor = 0;
+    std::uint64_t keyCount = 100000;
+
+    workload::WorkloadSpec workload =
+        workload::WorkloadSpec::ycsbA(100000);
+
+    /**
+     * Optional recorded trace: when set, clients replay it (cyclically,
+     * each client starting at a different offset) instead of drawing
+     * from the workload generator — the paper's Pin-trace methodology.
+     * The trace's keys must lie within keyCount. Not owned.
+     */
+    const workload::Trace *trace = nullptr;
+
+    net::NetworkParams network{};
+    /** Per-node cost/substrate parameters; model, numNodes and
+     *  keyCount are overridden from this config. */
+    core::NodeParams node{};
+
+    /** Requests per transaction (Transactional consistency). */
+    std::uint32_t xactLength = 5;
+    /** Requests per scope (Scope persistency). */
+    std::uint32_t scopeLength = 10;
+    /** Base client backoff window after a squashed transaction
+     *  (doubles per consecutive squash, capped at 6 doublings). */
+    sim::Tick xactRetryBackoff = 2 * sim::kMicrosecond;
+
+    /**
+     * Pause between a completion and the client's next request.
+     * 0 = saturating closed loop (the default); larger values emulate
+     * clients that are rate-limited by their own work.
+     */
+    sim::Tick clientThinkTime = 0;
+
+    sim::Tick warmup = 2 * sim::kMillisecond;
+    sim::Tick measure = 10 * sim::kMillisecond;
+
+    RecoveryPolicy recovery = RecoveryPolicy::Voting;
+    /** Keys per recovery query batch (SimulatedVoting). */
+    std::uint32_t recoveryBatch = 1024;
+
+    std::uint64_t seed = 1;
+
+    /** Total clients across the cluster. */
+    std::uint32_t
+    totalClients() const
+    {
+        return numServers * clientsPerServer;
+    }
+};
+
+} // namespace ddp::cluster
+
+#endif // DDP_CLUSTER_CONFIG_HH

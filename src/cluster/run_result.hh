@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Results of one cluster experiment run.
+ */
+
+#ifndef DDP_CLUSTER_RUN_RESULT_HH
+#define DDP_CLUSTER_RUN_RESULT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/ticks.hh"
+
+namespace ddp::cluster {
+
+/** Measured metrics of one run (measurement window only). */
+struct RunResult
+{
+    /** Client requests (reads + writes) completed per second. */
+    double throughput = 0.0;
+
+    double meanReadNs = 0.0;
+    double meanWriteNs = 0.0;
+    double meanNs = 0.0;
+    double p95ReadNs = 0.0;
+    double p95WriteNs = 0.0;
+
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+
+    std::uint64_t messages = 0;
+    std::uint64_t networkBytes = 0;
+    std::uint64_t persistsIssued = 0;
+
+    std::uint64_t readsStalledVisibility = 0;
+    std::uint64_t readsStalledPersist = 0;
+
+    std::uint64_t xactStarted = 0;
+    std::uint64_t xactCommitted = 0;
+    std::uint64_t xactAborted = 0;
+    std::uint64_t xactConflicts = 0;
+
+    /** Peak out-of-order UPD buffering across nodes (Causal). */
+    std::uint64_t causalBufferPeak = 0;
+
+    /** Property-checker verdicts (when a checker was attached). */
+    std::uint64_t monotonicViolations = 0;
+    std::uint64_t staleReads = 0;
+    std::uint64_t lostAckedWriteKeys = 0;
+
+    /** All raw counters diffed over the measurement window. */
+    std::map<std::string, std::uint64_t> counters;
+
+    /** Fraction of reads that stalled on an unpersisted write. */
+    double
+    persistStallFraction() const
+    {
+        return reads == 0 ? 0.0
+                          : static_cast<double>(readsStalledPersist) /
+                                static_cast<double>(reads);
+    }
+
+    /** Fraction of started transactions squashed by conflicts. */
+    double
+    conflictRate() const
+    {
+        return xactStarted == 0
+                   ? 0.0
+                   : static_cast<double>(xactAborted) /
+                         static_cast<double>(xactStarted);
+    }
+};
+
+/** Outcome of a crash + recovery event. */
+struct RecoveryStats
+{
+    std::uint64_t keysInstalled = 0;
+    /** Keys whose replicas disagreed in NVM before voting. */
+    std::uint64_t divergentKeys = 0;
+    /** Modeled wall-clock cost of the recovery protocol. */
+    sim::Tick recoveryTime = 0;
+    /** Acked writes (latest per key) that did not survive. */
+    std::uint64_t lostAckedWriteKeys = 0;
+};
+
+} // namespace ddp::cluster
+
+#endif // DDP_CLUSTER_RUN_RESULT_HH

@@ -1,0 +1,74 @@
+#include "ddp/checkers.hh"
+
+namespace ddp::core {
+
+void
+PropertyChecker::onRead(net::NodeId node, net::KeyId key,
+                        net::Version version, sim::Tick issued_at,
+                        sim::Tick completed_at)
+{
+    (void)completed_at;
+    ++reads;
+
+    auto [it, fresh] = lastReads.try_emplace({node, key},
+                                             LastRead{version});
+    if (!fresh) {
+        if (version < it->second.version)
+            ++monotonicViol;
+        else
+            it->second.version = version;
+    }
+
+    auto cw = completed.find(key);
+    if (cw != completed.end() && cw->second.completedAt < issued_at &&
+        version < cw->second.version) {
+        ++staleViol;
+    }
+}
+
+void
+PropertyChecker::onWriteComplete(net::KeyId key, net::Version version,
+                                 sim::Tick completed_at)
+{
+    ++writes;
+    auto [it, fresh] =
+        completed.try_emplace(key, CompletedWrite{version, completed_at});
+    if (!fresh && it->second.version < version) {
+        it->second.version = version;
+        it->second.completedAt = completed_at;
+    }
+}
+
+std::uint64_t
+PropertyChecker::auditLostWrites(
+    const std::function<net::Version(net::KeyId)> &recovered_version) const
+{
+    // One count per key whose *latest acknowledged* write did not
+    // survive recovery; earlier acknowledged writes to the same key are
+    // subsumed by the latest one.
+    std::uint64_t lost = 0;
+    for (const auto &[key, cw] : completed) {
+        if (recovered_version(key) < cw.version)
+            ++lost;
+    }
+    return lost;
+}
+
+void
+PropertyChecker::resetObservations()
+{
+    lastReads.clear();
+    completed.clear();
+}
+
+void
+PropertyChecker::clear()
+{
+    resetObservations();
+    monotonicViol = 0;
+    staleViol = 0;
+    reads = 0;
+    writes = 0;
+}
+
+} // namespace ddp::core

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Runtime property checkers for the paper's programmer-intuition and
+ * durability taxonomy (Table 4).
+ *
+ * The checker consumes the protocol engine's observation stream and
+ * measures:
+ *
+ *  - monotonic reads: for each (replica node, key), the versions
+ *    returned by successive reads must never go backwards. Eventual
+ *    consistency violates this (arrival-order application); Scope and
+ *    Eventual persistency violate it across crashes (reads observed
+ *    versions that the recovery discarded).
+ *  - non-stale reads: a read issued after a write to the same key
+ *    completed system-wide must return that write's version or newer.
+ *    Violated by stale-read consistency models (Causal, Eventual) and,
+ *    across crashes, by any model that acknowledges writes before they
+ *    are durable.
+ *  - durability of acknowledged writes: after a crash + recovery, how
+ *    many client-acknowledged writes were lost.
+ */
+
+#ifndef DDP_CORE_CHECKERS_HH
+#define DDP_CORE_CHECKERS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "ddp/client_api.hh"
+#include "net/message.hh"
+
+namespace ddp::core {
+
+/** Observation-stream property checker (see file comment). */
+class PropertyChecker : public EventSink
+{
+  public:
+    void onRead(net::NodeId node, net::KeyId key, net::Version version,
+                sim::Tick issued_at, sim::Tick completed_at) override;
+
+    void onWriteComplete(net::KeyId key, net::Version version,
+                         sim::Tick completed_at) override;
+
+    /** Reads that returned an older version than a previous read saw. */
+    std::uint64_t monotonicViolations() const { return monotonicViol; }
+
+    /** Reads that missed a write completed before they were issued. */
+    std::uint64_t staleReads() const { return staleViol; }
+
+    /** Total reads observed. */
+    std::uint64_t readsObserved() const { return reads; }
+
+    /** Total write completions observed. */
+    std::uint64_t writesObserved() const { return writes; }
+
+    /**
+     * Audit durability after a crash + recovery: count acknowledged
+     * writes whose version exceeds the recovered version of their key.
+     * @param recovered_version maps a key to its post-recovery version.
+     */
+    std::uint64_t
+    auditLostWrites(const std::function<net::Version(net::KeyId)>
+                        &recovered_version) const;
+
+    /** Forget observation state (not violation counters). */
+    void resetObservations();
+
+    void clear();
+
+  private:
+    struct LastRead
+    {
+        net::Version version;
+    };
+    struct CompletedWrite
+    {
+        net::Version version;
+        sim::Tick completedAt;
+    };
+
+    /** (node, key) -> last version returned at that replica. */
+    std::map<std::pair<net::NodeId, net::KeyId>, LastRead> lastReads;
+    /** key -> highest completed write and its completion time. */
+    std::unordered_map<net::KeyId, CompletedWrite> completed;
+
+    std::uint64_t monotonicViol = 0;
+    std::uint64_t staleViol = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+};
+
+} // namespace ddp::core
+
+#endif // DDP_CORE_CHECKERS_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Client-visible operation types and completion callbacks.
+ *
+ * Clients interact with a ProtocolNode through reads, writes, and —
+ * depending on the DDP model — transaction begin/end requests and
+ * scope-persist requests. Every request completes asynchronously at a
+ * simulated time with an OpResult.
+ */
+
+#ifndef DDP_CORE_CLIENT_API_HH
+#define DDP_CORE_CLIENT_API_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "net/message.hh"
+#include "sim/ticks.hh"
+
+namespace ddp::core {
+
+/** Client request kinds. */
+enum class OpKind : std::uint8_t
+{
+    Read,
+    Write,
+    InitXact,
+    EndXact,
+    PersistScope,
+};
+
+/** Completion record delivered to the issuing client. */
+struct OpResult
+{
+    OpKind kind = OpKind::Read;
+    net::KeyId key = 0;
+    net::NodeId node = 0;        ///< serving (coordinator) node
+    sim::Tick issuedAt = 0;
+    sim::Tick completedAt = 0;
+    net::Version version{};      ///< version read / written
+    bool aborted = false;        ///< transaction squashed by a conflict
+
+    sim::Tick latency() const { return completedAt - issuedAt; }
+};
+
+/** Completion callback. */
+using OpCompletion = std::function<void(const OpResult &)>;
+
+/** Optional transactional / scope context of a read or write. */
+struct OpContext
+{
+    std::uint64_t xactId = 0;  ///< 0 = not inside a transaction
+    std::uint64_t scopeId = 0; ///< 0 = no scope tag
+};
+
+/**
+ * Observation sink for property checkers. The protocol engine reports
+ * every read it answers and every write completion it signals; the
+ * checkers derive monotonic-read, non-stale-read, and durability
+ * verdicts from the stream.
+ */
+class EventSink
+{
+  public:
+    virtual ~EventSink() = default;
+
+    /** A read returned @p version at @p node. */
+    virtual void
+    onRead(net::NodeId node, net::KeyId key, net::Version version,
+           sim::Tick issued_at, sim::Tick completed_at) = 0;
+
+    /** A write of @p version completed (acknowledged to its client). */
+    virtual void
+    onWriteComplete(net::KeyId key, net::Version version,
+                    sim::Tick completed_at) = 0;
+};
+
+} // namespace ddp::core
+
+#endif // DDP_CORE_CLIENT_API_HH

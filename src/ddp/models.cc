@@ -1,0 +1,231 @@
+#include "ddp/models.hh"
+
+namespace ddp::core {
+
+const char *
+consistencyName(Consistency c)
+{
+    switch (c) {
+      case Consistency::Linearizable: return "Linearizable";
+      case Consistency::ReadEnforced: return "Read-Enforced";
+      case Consistency::Transactional: return "Transactional";
+      case Consistency::Causal: return "Causal";
+      case Consistency::Eventual: return "Eventual";
+    }
+    return "?";
+}
+
+const char *
+persistencyName(Persistency p)
+{
+    switch (p) {
+      case Persistency::Strict: return "Strict";
+      case Persistency::Synchronous: return "Synchronous";
+      case Persistency::ReadEnforced: return "Read-Enforced";
+      case Persistency::Scope: return "Scope";
+      case Persistency::Eventual: return "Eventual";
+    }
+    return "?";
+}
+
+std::string
+modelName(const DdpModel &model)
+{
+    std::string s = "<";
+    s += consistencyName(model.consistency);
+    s += ", ";
+    s += persistencyName(model.persistency);
+    s += ">";
+    return s;
+}
+
+const std::vector<Consistency> &
+allConsistencies()
+{
+    static const std::vector<Consistency> v = {
+        Consistency::Linearizable, Consistency::ReadEnforced,
+        Consistency::Transactional, Consistency::Causal,
+        Consistency::Eventual};
+    return v;
+}
+
+const std::vector<Persistency> &
+allPersistencies()
+{
+    static const std::vector<Persistency> v = {
+        Persistency::Strict, Persistency::Synchronous,
+        Persistency::ReadEnforced, Persistency::Scope,
+        Persistency::Eventual};
+    return v;
+}
+
+std::vector<DdpModel>
+allModels()
+{
+    std::vector<DdpModel> models;
+    for (Consistency c : allConsistencies()) {
+        for (Persistency p : allPersistencies())
+            models.push_back({c, p});
+    }
+    return models;
+}
+
+const char *
+levelName(Level l)
+{
+    switch (l) {
+      case Level::Low: return "Low";
+      case Level::Medium: return "Medium";
+      case Level::High: return "High";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Traffic contribution of a consistency model (0=low..2=high). */
+int
+consistencyTraffic(Consistency c)
+{
+    switch (c) {
+      case Consistency::Linearizable: return 1;  // INV/ACK/VAL round
+      case Consistency::ReadEnforced: return 1;
+      case Consistency::Transactional: return 2; // begin/end messages
+      case Consistency::Causal: return 2;        // cauhist payloads
+      case Consistency::Eventual: return 0;      // lazy UPDs only
+    }
+    return 1;
+}
+
+/** Traffic contribution of a persistency model (0=low..2=high). */
+int
+persistencyTraffic(Persistency p)
+{
+    switch (p) {
+      case Persistency::Strict: return 1;
+      case Persistency::Synchronous: return 1;
+      case Persistency::ReadEnforced: return 2; // double ACKs/VALs
+      case Persistency::Scope: return 2;        // scope-persist round
+      case Persistency::Eventual: return 0;
+    }
+    return 1;
+}
+
+} // namespace
+
+ModelTraits
+traitsOf(const DdpModel &model)
+{
+    const Consistency c = model.consistency;
+    const Persistency p = model.persistency;
+    ModelTraits t{};
+
+    // --- Durability -----------------------------------------------------
+    // Strict: nothing is ever lost. Scope: completed scopes survive.
+    // Synchronous: as strong as the consistency model's write-completion
+    // condition. Read-Enforced: read values are recoverable. Eventual:
+    // no guarantee.
+    switch (p) {
+      case Persistency::Strict:
+        t.durability = Level::High;
+        break;
+      case Persistency::Scope:
+        t.durability = Level::High;
+        break;
+      case Persistency::Synchronous:
+        if (c == Consistency::Linearizable ||
+            c == Consistency::Transactional)
+            t.durability = Level::High;
+        else if (c == Consistency::Eventual)
+            t.durability = Level::Low;
+        else
+            t.durability = Level::Medium;
+        break;
+      case Persistency::ReadEnforced:
+        t.durability = Level::Medium;
+        break;
+      case Persistency::Eventual:
+        t.durability = Level::Low;
+        break;
+    }
+
+    // --- Performance factors ---------------------------------------------
+    // Writes stall only when completion waits on remote acknowledgments:
+    // Strict persistency always; <Linearizable, Synchronous> as well.
+    t.writesOptimized =
+        p != Persistency::Strict &&
+        !(c == Consistency::Linearizable &&
+          p == Persistency::Synchronous);
+
+    // Reads stall for Read-Enforced consistency (visibility), for
+    // Read-Enforced persistency (durability), and for Linearizable
+    // bound to Strict/Synchronous (VAL implies persist).
+    t.readsOptimized =
+        c != Consistency::ReadEnforced &&
+        p != Persistency::ReadEnforced &&
+        !(c == Consistency::Linearizable &&
+          (p == Persistency::Synchronous || p == Persistency::Strict));
+
+    int traffic_score = consistencyTraffic(c) + persistencyTraffic(p);
+    t.traffic = traffic_score <= 1
+                    ? Level::Low
+                    : (traffic_score == 2 ? Level::Medium : Level::High);
+
+    if (t.writesOptimized && t.readsOptimized)
+        t.performance = Level::High;
+    else if (c == Consistency::Causal && t.writesOptimized)
+        t.performance = Level::High; // read stalls are local and short
+    else if (t.writesOptimized || t.readsOptimized)
+        t.performance = Level::Medium;
+    else
+        t.performance = Level::Low;
+
+    // --- Programmer intuition ---------------------------------------------
+    // Monotonic reads fail when replicas apply updates in arrival order
+    // (Eventual consistency) or when a crash can revert versions that
+    // reads already observed (Scope / Eventual persistency).
+    t.monotonicReads = c != Consistency::Eventual &&
+                       p != Persistency::Scope &&
+                       p != Persistency::Eventual;
+
+    // Non-stale reads need (a) completed writes to be durable (Strict,
+    // or Synchronous bound to a consistency whose write completion
+    // awaits the persist) and (b) reads that cannot observe staleness.
+    bool writes_durable_at_completion =
+        p == Persistency::Strict ||
+        (p == Persistency::Synchronous &&
+         (c == Consistency::Linearizable ||
+          c == Consistency::Transactional));
+    bool reads_never_stale = c == Consistency::Linearizable ||
+                             c == Consistency::ReadEnforced ||
+                             c == Consistency::Transactional;
+    t.nonStaleReads = writes_durable_at_completion && reads_never_stale;
+
+    if (p == Persistency::Scope) {
+        // All-or-nothing scope recovery keeps the model easy to reason
+        // about despite failing both read properties; combining with
+        // transactions dilutes that.
+        t.intuition = c == Consistency::Transactional ? Level::Medium
+                                                      : Level::High;
+    } else if (t.monotonicReads && t.nonStaleReads) {
+        t.intuition = Level::High;
+    } else if (t.monotonicReads || t.nonStaleReads) {
+        t.intuition = Level::Medium;
+    } else {
+        t.intuition = Level::Low;
+    }
+
+    // --- Programmability / implementability --------------------------------
+    t.programmability = (c == Consistency::Transactional ||
+                         p == Persistency::Scope)
+                            ? Level::Low
+                            : Level::High;
+    t.implementability = (c == Consistency::Transactional ||
+                          c == Consistency::Causal ||
+                          p == Persistency::Scope)
+                             ? Level::Low
+                             : Level::High;
+    return t;
+}
+
+} // namespace ddp::core

@@ -1,0 +1,1806 @@
+#include "ddp/protocol_node.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ddp::core {
+
+using net::KeyId;
+using net::Message;
+using net::MsgType;
+using net::NodeId;
+using net::Version;
+
+ProtocolNode::ProtocolNode(sim::EventQueue &eq, net::Fabric &fabric,
+                           NodeId self, const NodeParams &params,
+                           stats::CounterRegistry &counters,
+                           XactConflictTable *xact_table)
+    : eq(eq),
+      fabric(fabric),
+      self(self),
+      cfg(params),
+      ctr(counters),
+      xactTable(xact_table),
+      nvmDev(params.nvmParams),
+      dramDev(params.dramParams),
+      hierarchy(params.cacheParams),
+      backend(kv::makeStore(params.storeKind)),
+      cores(params.workerCores),
+      keys(params.keyCount),
+      applied(params.numNodes),
+      durableApplied(params.numNodes),
+      pendingDurable(params.numNodes),
+      causalBuffer(params.numNodes),
+      followers(params.numNodes - 1),
+      rmap(params.numNodes, params.replicationFactor)
+{
+    if (!rmap.full() &&
+        (cfg.model.consistency == Consistency::Causal ||
+         cfg.model.consistency == Consistency::Transactional)) {
+        throw std::invalid_argument(
+            "partial replication requires Linearizable, Read-Enforced, "
+            "or Eventual consistency");
+    }
+
+    RecoveryAgent::Hooks hooks;
+    hooks.persistedVersion = [this](KeyId key) {
+        return persistedVersion(key);
+    };
+    hooks.install = [this](KeyId key, Version ver) {
+        installRecovered(key, ver);
+    };
+    hooks.send = [this](NodeId dst, Message m) {
+        m.src = this->self;
+        m.epoch = currentEpoch;
+        sendTo(dst, std::move(m));
+    };
+    hooks.broadcast = [this](Message m) {
+        m.src = this->self;
+        m.epoch = currentEpoch;
+        broadcast(std::move(m));
+    };
+    hooks.now = [this] { return this->eq.now(); };
+    recovery = std::make_unique<RecoveryAgent>(self, params.numNodes,
+                                               std::move(hooks));
+
+    fabric.attach(self, [this](const Message &m) { handleMessage(m); });
+}
+
+// --------------------------------------------------------------------------
+// Small helpers
+// --------------------------------------------------------------------------
+
+std::uint64_t
+ProtocolNode::xactLogAddr(std::uint64_t xact_id) const
+{
+    return (cfg.keyCount + (xact_id & 1023)) * 64;
+}
+
+bool
+ProtocolNode::isAckRoundConsistency() const
+{
+    return cfg.model.consistency == Consistency::Linearizable ||
+           cfg.model.consistency == Consistency::ReadEnforced;
+}
+
+ProtocolNode::KeyReplica &
+ProtocolNode::keyState(KeyId key)
+{
+    assert(key < keys.size());
+    return keys[key];
+}
+
+const ProtocolNode::KeyReplica &
+ProtocolNode::keyState(KeyId key) const
+{
+    assert(key < keys.size());
+    return keys[key];
+}
+
+Version
+ProtocolNode::allocateVersion(KeyId key)
+{
+    KeyReplica &kr = keyState(key);
+    Version ver{kr.maxSeen.number + 1, self};
+    kr.maxSeen = ver;
+    return ver;
+}
+
+void
+ProtocolNode::noteVersion(KeyId key, Version ver)
+{
+    KeyReplica &kr = keyState(key);
+    if (kr.maxSeen < ver)
+        kr.maxSeen = ver;
+}
+
+bool
+ProtocolNode::waiterSatisfied(const KeyReplica &kr, const Waiter &w) const
+{
+    switch (w.kind) {
+      case Waiter::Kind::KeyValid:
+        return !kr.transient;
+      case Waiter::Kind::WriteSlot:
+        return !kr.transient && kr.pendingOpId == 0;
+      case Waiter::Kind::GlobalPersist:
+        return kr.globalPersistVer >= w.ver;
+      case Waiter::Kind::LocalPersist:
+        return kr.persistedVer >= w.ver;
+    }
+    return true;
+}
+
+void
+ProtocolNode::wakeWaiters(KeyId key)
+{
+    KeyReplica &kr = keyState(key);
+    if (kr.waiters.empty())
+        return;
+    std::vector<Waiter> still;
+    std::vector<std::function<void()>> ready;
+    still.reserve(kr.waiters.size());
+    for (auto &w : kr.waiters) {
+        if (waiterSatisfied(kr, w))
+            ready.push_back(std::move(w.resume));
+        else
+            still.push_back(std::move(w));
+    }
+    kr.waiters = std::move(still);
+    for (auto &fn : ready) {
+        // Re-admission of a woken request costs worker-core time; under
+        // hot-key contention this wasted work scales with the number of
+        // parked requests.
+        sim::Tick t = cores.acquire(eq.now(), cfg.stallRetryCost);
+        eq.schedule(t, std::move(fn));
+    }
+}
+
+sim::Tick
+ProtocolNode::chargeLocalAccess(KeyId key, bool is_write)
+{
+    (void)is_write;
+    std::uint64_t addr = addrOf(key);
+    auto [lat, hit] = hierarchy.access(addr);
+    sim::Tick extra = lat;
+    if (!hit) {
+        sim::Tick done = dramDev.read(eq.now(), addr);
+        extra += done - eq.now();
+    }
+    kv::Value tmp;
+    backend->get(key, tmp);
+    extra += static_cast<sim::Tick>(backend->lastProbes()) * cfg.probeCost;
+    return extra;
+}
+
+Message
+ProtocolNode::makeMsg(MsgType type, KeyId key, Version ver,
+                      std::uint64_t op_id) const
+{
+    Message m;
+    m.type = type;
+    m.src = self;
+    m.key = key;
+    m.version = ver;
+    m.opId = op_id;
+    m.epoch = currentEpoch;
+    return m;
+}
+
+void
+ProtocolNode::sendTo(NodeId dst, Message msg)
+{
+    msg.dst = dst;
+    fabric.send(msg);
+}
+
+void
+ProtocolNode::broadcast(Message msg)
+{
+    fabric.broadcast(std::move(msg));
+}
+
+void
+ProtocolNode::multicast(KeyId key, Message msg)
+{
+    if (rmap.full()) {
+        fabric.broadcast(std::move(msg));
+        return;
+    }
+    for (std::uint32_t i = 0; i < rmap.factor(); ++i) {
+        NodeId dst = rmap.replica(key, i);
+        if (dst == self)
+            continue;
+        msg.dst = dst;
+        fabric.send(msg);
+    }
+}
+
+// --------------------------------------------------------------------------
+// Persist machinery
+// --------------------------------------------------------------------------
+
+namespace {
+
+/** Max-merge or arrival-order overwrite of a persisted version. */
+void
+advancePersisted(Version &slot, Version ver, bool arrival_order)
+{
+    if (arrival_order || slot < ver)
+        slot = ver;
+}
+
+} // namespace
+
+void
+ProtocolNode::issuePersist(KeyId key, Version ver, std::uint64_t round_id,
+                           bool follower_acks, NodeId ack_dst,
+                           std::uint64_t ack_op, bool arrival_order,
+                           NodeId causal_origin, std::uint64_t causal_seq,
+                           std::function<void()> on_durable)
+{
+    // Everything that must happen once this version is durable (or
+    // superseded by a durable newer version) is captured here and
+    // fired by the covering persist's completion.
+    PersistObligation obligation =
+        [this, key, ver, round_id, follower_acks, ack_dst, ack_op,
+         causal_origin, causal_seq,
+         on_durable = std::move(on_durable)](Version covered) {
+            (void)covered;
+            if (round_id != 0) {
+                auto it = rounds.find(round_id);
+                if (it != rounds.end()) {
+                    assert(it->second.pendingLocalPersists > 0);
+                    --it->second.pendingLocalPersists;
+                    checkRound(round_id);
+                }
+            }
+            if (causal_origin != net::kNoNode) {
+                // This persist makes one causal update durable locally:
+                // advance the durable clock and retry buffered UPDs.
+                noteCausalDurable(causal_origin, causal_seq);
+                drainCausalBuffer();
+            }
+            if (follower_acks) {
+                MsgType t =
+                    (cfg.model.persistency == Persistency::Strict ||
+                     cfg.model.persistency == Persistency::Synchronous)
+                        ? MsgType::Ack
+                        : MsgType::AckP;
+                sendTo(ack_dst, makeMsg(t, key, ver, ack_op));
+            }
+            if (on_durable)
+                on_durable();
+        };
+
+    KeyReplica &kr = keyState(key);
+    if (!kr.persistBusy || !cfg.persistCoalescing) {
+        std::vector<PersistObligation> obls;
+        obls.push_back(std::move(obligation));
+        startKeyPersist(key, ver, arrival_order, std::move(obls));
+        return;
+    }
+
+    // Coalesce into the pending follow-up write for this line.
+    ctr.add("persists_coalesced");
+    if (!kr.hasPendingPersist) {
+        kr.hasPendingPersist = true;
+        kr.pendingPersistVer = ver;
+    } else if (arrival_order || kr.pendingPersistVer < ver) {
+        kr.pendingPersistVer = ver;
+    }
+    kr.pendingArrival = arrival_order;
+    kr.pendingObligations.push_back(std::move(obligation));
+}
+
+void
+ProtocolNode::startKeyPersist(KeyId key, Version ver, bool arrival_order,
+                              std::vector<PersistObligation> obligations)
+{
+    ctr.add("persists_issued");
+    sim::Tick done_at = nvmDev.write(eq.now(), addrOf(key));
+    std::uint32_t ep = currentEpoch;
+
+    if (!cfg.persistCoalescing) {
+        // Ablation mode: every persist is independent; obligations ride
+        // in the completion closure instead of the per-key slot.
+        auto obls = std::make_shared<std::vector<PersistObligation>>(
+            std::move(obligations));
+        eq.schedule(done_at,
+                    [this, ep, key, ver, arrival_order, obls] {
+            if (ep != currentEpoch)
+                return;
+            KeyReplica &kr = keyState(key);
+            advancePersisted(kr.persistedVer, ver, arrival_order);
+            wakeWaiters(key);
+            for (auto &obl : *obls)
+                obl(ver);
+        });
+        return;
+    }
+
+    KeyReplica &kr = keyState(key);
+    kr.persistBusy = true;
+    kr.activePersistVer = ver;
+    kr.activeArrival = arrival_order;
+    kr.activeObligations = std::move(obligations);
+
+    eq.schedule(done_at, [this, ep, key] {
+        if (ep != currentEpoch)
+            return; // the persist raced a crash; treat it as lost
+        onKeyPersistDone(key);
+    });
+}
+
+void
+ProtocolNode::onKeyPersistDone(KeyId key)
+{
+    KeyReplica &kr = keyState(key);
+    advancePersisted(kr.persistedVer, kr.activePersistVer,
+                     kr.activeArrival);
+    wakeWaiters(key);
+
+    Version covered = kr.activePersistVer;
+    std::vector<PersistObligation> fired =
+        std::move(kr.activeObligations);
+    kr.activeObligations.clear();
+    kr.persistBusy = false;
+    for (auto &obl : fired)
+        obl(covered);
+
+    // KeyReplica may have gained new pending work while obligations
+    // ran; start the coalesced follow-up write if so.
+    KeyReplica &kr2 = keyState(key);
+    if (!kr2.persistBusy && kr2.hasPendingPersist) {
+        Version next = kr2.pendingPersistVer;
+        bool arrival = kr2.pendingArrival;
+        std::vector<PersistObligation> obls =
+            std::move(kr2.pendingObligations);
+        kr2.pendingObligations.clear();
+        kr2.hasPendingPersist = false;
+        startKeyPersist(key, next, arrival, std::move(obls));
+    }
+}
+
+// --------------------------------------------------------------------------
+// Client reads
+// --------------------------------------------------------------------------
+
+struct ProtocolNode::ReadCtx
+{
+    sim::Tick issued = 0;
+    OpCompletion done;
+    OpContext octx;
+    bool charged = false;
+    bool countedVisibility = false;
+    bool countedPersist = false;
+    std::uint32_t conflictAttempts = 0;
+};
+
+void
+ProtocolNode::clientRead(KeyId key, OpContext ctx, OpCompletion done)
+{
+    auto rc = std::make_shared<ReadCtx>();
+    rc->issued = eq.now();
+    rc->done = std::move(done);
+    rc->octx = ctx;
+    sim::Tick admitted = cores.acquire(eq.now(), cfg.opProcessing);
+    std::uint32_t ep = currentEpoch;
+    eq.schedule(admitted, [this, ep, key, rc] {
+        if (ep == currentEpoch)
+            execRead(key, rc);
+    });
+}
+
+void
+ProtocolNode::execRead(KeyId key, std::shared_ptr<ReadCtx> rc)
+{
+    if (!rc->charged) {
+        rc->charged = true;
+        sim::Tick extra = chargeLocalAccess(key, false);
+        if (extra > 0) {
+            std::uint32_t ep = currentEpoch;
+            eq.scheduleIn(extra, [this, ep, key, rc] {
+                if (ep == currentEpoch)
+                    execRead(key, std::move(rc));
+            });
+            return;
+        }
+    }
+
+    KeyReplica &kr = keyState(key);
+    const Consistency c = cfg.model.consistency;
+    const Persistency p = cfg.model.persistency;
+
+    // Transactional bookkeeping and conflict detection (reads inside a
+    // transaction never stall; conflicts squash the transaction).
+    bool xact_read =
+        c == Consistency::Transactional && rc->octx.xactId != 0;
+    if (xact_read) {
+        auto it = xactRecs.find(rc->octx.xactId);
+        if (it == xactRecs.end() || it->second.aborted) {
+            OpResult res;
+            res.kind = OpKind::Read;
+            res.key = key;
+            res.node = self;
+            res.issuedAt = rc->issued;
+            res.completedAt = eq.now();
+            res.aborted = true;
+            rc->done(res);
+            return;
+        }
+        if (xactTable &&
+            xactTable->accessConflicts(rc->octx.xactId, key, false,
+                                       eq.now(), cfg.xactConflictWindow)) {
+            ctr.add("xact_conflicts");
+            if (!it->second.hadConflict) {
+                it->second.hadConflict = true;
+                ctr.add("xact_conflicted");
+            }
+            if (rc->conflictAttempts < cfg.xactConflictRetries) {
+                // Stall flavor: wait for the conflicting transaction to
+                // drain, then retry (wasting core time on re-admission).
+                ++rc->conflictAttempts;
+                ctr.add("xact_conflict_stalls");
+                std::uint32_t ep = currentEpoch;
+                sim::Tick t = cores.acquire(
+                    eq.now() + cfg.xactConflictRetryDelay,
+                    cfg.stallRetryCost);
+                eq.schedule(t, [this, ep, key, rc] {
+                    if (ep == currentEpoch)
+                        execRead(key, rc);
+                });
+                return;
+            }
+            // Squash flavor: retries exhausted.
+            it->second.aborted = true;
+            OpResult res;
+            res.kind = OpKind::Read;
+            res.key = key;
+            res.node = self;
+            res.issuedAt = rc->issued;
+            res.completedAt = eq.now();
+            res.aborted = true;
+            rc->done(res);
+            return;
+        }
+        // Read-your-own-writes: the latest uncommitted write of this
+        // transaction to the key wins over committed state.
+        for (auto w = it->second.writes.rbegin();
+             w != it->second.writes.rend(); ++w) {
+            if (w->key == key) {
+                OpResult res;
+                res.kind = OpKind::Read;
+                res.key = key;
+                res.node = self;
+                res.issuedAt = rc->issued;
+                res.completedAt = eq.now();
+                res.version = w->ver;
+                ctr.add("reads_completed");
+                rc->done(res);
+                return;
+            }
+        }
+    }
+
+    // Visibility stall: Linearizable and Read-Enforced consistency may
+    // not serve a key with an in-flight update.
+    if ((c == Consistency::Linearizable ||
+         c == Consistency::ReadEnforced) &&
+        kr.transient) {
+        if (!rc->countedVisibility) {
+            rc->countedVisibility = true;
+            ctr.add("reads_stalled_visibility");
+        }
+        kr.waiters.push_back(
+            {Waiter::Kind::KeyValid, Version{},
+             [this, key, rc] { execRead(key, rc); }});
+        return;
+    }
+
+    // Durability stall: Read-Enforced persistency requires the latest
+    // visible version to be durable before it may be read. Protocols
+    // with ACK rounds prove global durability via VAL_p; the others
+    // wait for the local persist (paper Fig. 3(c)-(d)).
+    if (p == Persistency::ReadEnforced) {
+        bool global = isAckRoundConsistency();
+        bool must_wait = global ? kr.volatileVer > kr.globalPersistVer
+                                : kr.volatileVer > kr.persistedVer;
+        if (must_wait) {
+            if (!rc->countedPersist) {
+                rc->countedPersist = true;
+                ctr.add("reads_stalled_persist");
+            }
+            kr.waiters.push_back(
+                {global ? Waiter::Kind::GlobalPersist
+                        : Waiter::Kind::LocalPersist,
+                 kr.volatileVer,
+                 [this, key, rc] { execRead(key, rc); }});
+            return;
+        }
+    }
+
+    finishRead(key, rc);
+}
+
+void
+ProtocolNode::finishRead(KeyId key, const std::shared_ptr<ReadCtx> &rc)
+{
+    KeyReplica &kr = keyState(key);
+    const Consistency c = cfg.model.consistency;
+    const Persistency p = cfg.model.persistency;
+
+    // Synchronous persistency bound to a consistency model without ACK
+    // rounds serves the latest *persisted* version so that every value
+    // returned is recoverable (paper Fig. 2(f)).
+    Version ver = kr.volatileVer;
+    if (p == Persistency::Synchronous &&
+        (c == Consistency::Causal || c == Consistency::Eventual)) {
+        ver = kr.persistedVer;
+    }
+
+    OpResult res;
+    res.kind = OpKind::Read;
+    res.key = key;
+    res.node = self;
+    res.issuedAt = rc->issued;
+    res.completedAt = eq.now();
+    res.version = ver;
+    ctr.add("reads_completed");
+    if (sink)
+        sink->onRead(self, key, ver, rc->issued, eq.now());
+    rc->done(res);
+}
+
+// --------------------------------------------------------------------------
+// Client writes
+// --------------------------------------------------------------------------
+
+struct ProtocolNode::WriteCtx
+{
+    sim::Tick issued = 0;
+    OpCompletion done;
+    OpContext octx;
+    bool charged = false;
+    std::uint32_t conflictAttempts = 0;
+};
+
+void
+ProtocolNode::clientWrite(KeyId key, OpContext ctx, OpCompletion done)
+{
+    auto wc = std::make_shared<WriteCtx>();
+    wc->issued = eq.now();
+    wc->done = std::move(done);
+    wc->octx = ctx;
+    sim::Tick admitted = cores.acquire(eq.now(), cfg.opProcessing);
+    std::uint32_t ep = currentEpoch;
+    eq.schedule(admitted, [this, ep, key, wc] {
+        if (ep == currentEpoch)
+            execWrite(key, wc);
+    });
+}
+
+void
+ProtocolNode::execWrite(KeyId key, std::shared_ptr<WriteCtx> wc)
+{
+    if (!wc->charged) {
+        wc->charged = true;
+        sim::Tick extra = chargeLocalAccess(key, true);
+        if (extra > 0) {
+            std::uint32_t ep = currentEpoch;
+            eq.scheduleIn(extra, [this, ep, key, wc] {
+                if (ep == currentEpoch)
+                    execWrite(key, std::move(wc));
+            });
+            return;
+        }
+    }
+
+    switch (cfg.model.consistency) {
+      case Consistency::Linearizable:
+      case Consistency::ReadEnforced:
+        startAckRoundWrite(key, wc);
+        break;
+      case Consistency::Transactional:
+        if (wc->octx.xactId != 0) {
+            startXactWrite(key, wc);
+        } else {
+            // A write outside any transaction degenerates to a strict
+            // invalidation round.
+            startAckRoundWrite(key, wc);
+        }
+        break;
+      case Consistency::Causal:
+      case Consistency::Eventual:
+        startPropagatedWrite(key, wc);
+        break;
+    }
+}
+
+void
+ProtocolNode::startAckRoundWrite(KeyId key,
+                                 const std::shared_ptr<WriteCtx> &wc)
+{
+    KeyReplica &kr = keyState(key);
+    // One in-flight invalidation round per key per coordinator; later
+    // writes (and rounds racing a remote INV) queue.
+    if (kr.transient || kr.pendingOpId != 0) {
+        kr.waiters.push_back({Waiter::Kind::WriteSlot, Version{},
+                              [this, key, wc] { execWrite(key, wc); }});
+        return;
+    }
+
+    const Persistency p = cfg.model.persistency;
+    Version ver = allocateVersion(key);
+    std::uint64_t round_id = nextOpId++;
+
+    Round round;
+    round.kind = Round::Kind::Write;
+    round.key = key;
+    round.ver = ver;
+    round.scopeId = wc->octx.scopeId;
+    round.followersNeeded = rmap.followerCount(key);
+    round.issuedAt = wc->issued;
+    round.done = wc->done;
+
+    kr.pendingOpId = round_id;
+    kr.transient = true;
+    kr.transientVer = ver;
+
+    // Local durability per the persistency model.
+    if (p == Persistency::Strict || p == Persistency::Synchronous ||
+        p == Persistency::ReadEnforced) {
+        round.pendingLocalPersists = 1;
+        rounds.emplace(round_id, std::move(round));
+        issuePersist(key, ver, round_id, false, 0, 0, false);
+    } else if (p == Persistency::Scope) {
+        scopeBuffers[wc->octx.scopeId].emplace_back(key, ver);
+        rounds.emplace(round_id, std::move(round));
+    } else { // Eventual persistency: lazy background persist
+        rounds.emplace(round_id, std::move(round));
+        std::uint32_t ep = currentEpoch;
+        eq.scheduleIn(cfg.lazyPersistDelay, [this, ep, key, ver] {
+            if (ep == currentEpoch)
+                issuePersist(key, ver, 0, false, 0, 0, false);
+        });
+    }
+
+    Message inv = makeMsg(MsgType::Inv, key, ver, round_id);
+    inv.hasData = true;
+    inv.scopeId = wc->octx.scopeId;
+    multicast(key, inv);
+    ctr.add("inv_sent", rmap.followerCount(key));
+
+    // Read-Enforced consistency acknowledges the client immediately
+    // (unless Strict persistency also demands global durability first).
+    if (cfg.model.consistency == Consistency::ReadEnforced &&
+        p != Persistency::Strict) {
+        completeWriteToClient(rounds.at(round_id));
+    }
+    checkRound(round_id);
+}
+
+void
+ProtocolNode::startXactWrite(KeyId key,
+                             const std::shared_ptr<WriteCtx> &wc)
+{
+    auto it = xactRecs.find(wc->octx.xactId);
+    OpResult res;
+    res.kind = OpKind::Write;
+    res.key = key;
+    res.node = self;
+    res.issuedAt = wc->issued;
+
+    if (it == xactRecs.end() || it->second.aborted) {
+        res.completedAt = eq.now();
+        res.aborted = true;
+        wc->done(res);
+        return;
+    }
+    XactRecord &xr = it->second;
+
+    if (xactTable &&
+        xactTable->accessConflicts(xr.id, key, true, eq.now(),
+                                   cfg.xactConflictWindow)) {
+        ctr.add("xact_conflicts");
+        if (!xr.hadConflict) {
+            xr.hadConflict = true;
+            ctr.add("xact_conflicted");
+        }
+        if (wc->conflictAttempts < cfg.xactConflictRetries) {
+            ++wc->conflictAttempts;
+            ctr.add("xact_conflict_stalls");
+            std::uint32_t ep = currentEpoch;
+            sim::Tick t = cores.acquire(
+                eq.now() + cfg.xactConflictRetryDelay,
+                cfg.stallRetryCost);
+            eq.schedule(t, [this, ep, key, wc] {
+                if (ep == currentEpoch)
+                    execWrite(key, wc);
+            });
+            return;
+        }
+        xr.aborted = true;
+        res.completedAt = eq.now();
+        res.aborted = true;
+        wc->done(res);
+        return;
+    }
+
+    const Persistency p = cfg.model.persistency;
+    Version ver = allocateVersion(key);
+
+    // The write stays private to the transaction until ENDX: reads of
+    // other clients keep seeing committed state (no dirty reads), and
+    // an abort has nothing to roll back. The transaction reads its own
+    // writes through its write set.
+    xr.writes.push_back({key, ver, wc->octx.scopeId});
+
+    std::uint64_t round_id = 0;
+    if (p == Persistency::Strict) {
+        // Strict: the write itself stalls until durable on all nodes.
+        round_id = nextOpId++;
+        Round round;
+        round.kind = Round::Kind::Write;
+        round.key = key;
+        round.ver = ver;
+        round.xactId = xr.id;
+        round.followersNeeded = rmap.followerCount(key);
+        round.issuedAt = wc->issued;
+        round.done = wc->done;
+        round.pendingLocalPersists = 1;
+        rounds.emplace(round_id, std::move(round));
+        issuePersist(key, ver, round_id, false, 0, 0, false);
+    } else if (p == Persistency::ReadEnforced) {
+        issuePersist(key, ver, 0, false, 0, 0, false);
+    } else if (p == Persistency::Eventual) {
+        std::uint32_t ep = currentEpoch;
+        eq.scheduleIn(cfg.lazyPersistDelay, [this, ep, key, ver] {
+            if (ep == currentEpoch)
+                issuePersist(key, ver, 0, false, 0, 0, false);
+        });
+    }
+    // Synchronous: persists are deferred to ENDX (VP of the update).
+
+    Message inv = makeMsg(MsgType::Inv, key, ver, round_id);
+    inv.hasData = true;
+    inv.xactId = xr.id;
+    inv.scopeId = wc->octx.scopeId;
+    multicast(key, inv);
+    ctr.add("inv_sent", rmap.followerCount(key));
+
+    if (p != Persistency::Strict) {
+        res.completedAt = eq.now();
+        res.version = ver;
+        ctr.add("writes_completed");
+        wc->done(res);
+    } else {
+        checkRound(round_id);
+    }
+}
+
+void
+ProtocolNode::startPropagatedWrite(KeyId key,
+                                   const std::shared_ptr<WriteCtx> &wc)
+{
+    const Consistency c = cfg.model.consistency;
+    const Persistency p = cfg.model.persistency;
+    KeyReplica &kr = keyState(key);
+    Version ver = allocateVersion(key);
+
+    kr.volatileVer = ver;
+    backend->put(key, ver.number);
+
+    Message upd = makeMsg(MsgType::Upd, key, ver, 0);
+    upd.hasData = true;
+    upd.scopeId = wc->octx.scopeId;
+    if (c == Consistency::Causal) {
+        upd.cauhist = applied.raw();
+        applied[self] += 1;
+    }
+
+    // Under durable causal gating the coordinator's own sequence
+    // number must also advance durably, or UPDs from peers that depend
+    // on this write would buffer here forever.
+    bool durable_gated =
+        c == Consistency::Causal && (p == Persistency::Strict ||
+                                     p == Persistency::Synchronous);
+    NodeId causal_origin = durable_gated ? self : net::kNoNode;
+    std::uint64_t own_seq = durable_gated ? applied[self] : 0;
+
+    std::uint64_t round_id = 0;
+    if (p == Persistency::Strict) {
+        round_id = nextOpId++;
+        upd.opId = round_id;
+        Round round;
+        round.kind = Round::Kind::Write;
+        round.key = key;
+        round.ver = ver;
+        round.followersNeeded = rmap.followerCount(key);
+        round.issuedAt = wc->issued;
+        round.done = wc->done;
+        round.pendingLocalPersists = 1;
+        rounds.emplace(round_id, std::move(round));
+        issuePersist(key, ver, round_id, false, 0, 0, false,
+                     causal_origin, own_seq);
+    } else if (p == Persistency::Synchronous ||
+               p == Persistency::ReadEnforced) {
+        issuePersist(key, ver, 0, false, 0, 0, false, causal_origin,
+                     own_seq);
+    } else if (p == Persistency::Scope) {
+        scopeBuffers[wc->octx.scopeId].emplace_back(key, ver);
+    } else { // Eventual persistency
+        std::uint32_t ep = currentEpoch;
+        eq.scheduleIn(cfg.lazyPersistDelay, [this, ep, key, ver] {
+            if (ep == currentEpoch)
+                issuePersist(key, ver, 0, false, 0, 0, false);
+        });
+    }
+
+    if (c == Consistency::Eventual && p != Persistency::Strict) {
+        enqueueLazyUpd(std::move(upd));
+    } else {
+        multicast(key, std::move(upd));
+        ctr.add("upd_sent", rmap.followerCount(key));
+    }
+
+    if (p != Persistency::Strict) {
+        OpResult res;
+        res.kind = OpKind::Write;
+        res.key = key;
+        res.node = self;
+        res.issuedAt = wc->issued;
+        res.completedAt = eq.now();
+        res.version = ver;
+        ctr.add("writes_completed");
+        if (sink)
+            sink->onWriteComplete(key, ver, eq.now());
+        wc->done(res);
+    } else {
+        checkRound(round_id);
+    }
+}
+
+// --------------------------------------------------------------------------
+// Transactions
+// --------------------------------------------------------------------------
+
+void
+ProtocolNode::clientInitXact(std::uint64_t xact_id, OpCompletion done)
+{
+    sim::Tick issued = eq.now();
+    sim::Tick admitted = cores.acquire(eq.now(), cfg.opProcessing);
+    std::uint32_t ep = currentEpoch;
+    eq.schedule(admitted, [this, ep, xact_id, issued,
+                           done = std::move(done)] {
+        if (ep != currentEpoch)
+            return;
+        XactRecord xr;
+        xr.id = xact_id;
+        xr.coordinator = self;
+        xactRecs.emplace(xact_id, std::move(xr));
+        if (xactTable)
+            xactTable->begin(xact_id);
+        ctr.add("xact_started");
+
+        std::uint64_t round_id = nextOpId++;
+        Round round;
+        round.kind = Round::Kind::InitXact;
+        round.xactId = xact_id;
+        round.followersNeeded = followers;
+        round.issuedAt = issued;
+        round.done = done;
+
+        const Persistency p = cfg.model.persistency;
+        bool log_persist = p == Persistency::Strict ||
+                           p == Persistency::Synchronous;
+        if (log_persist)
+            round.pendingLocalPersists = 1;
+        rounds.emplace(round_id, std::move(round));
+
+        if (log_persist) {
+            sim::Tick done_at =
+                nvmDev.write(eq.now(), xactLogAddr(xact_id));
+            std::uint32_t ep2 = currentEpoch;
+            eq.schedule(done_at, [this, ep2, round_id] {
+                if (ep2 != currentEpoch)
+                    return;
+                auto it = rounds.find(round_id);
+                if (it != rounds.end()) {
+                    --it->second.pendingLocalPersists;
+                    checkRound(round_id);
+                }
+            });
+        }
+
+        Message m = makeMsg(MsgType::InitX, 0, Version{}, round_id);
+        m.xactId = xact_id;
+        broadcast(m);
+        checkRound(round_id);
+    });
+}
+
+void
+ProtocolNode::clientEndXact(std::uint64_t xact_id, bool commit,
+                            OpCompletion done)
+{
+    sim::Tick issued = eq.now();
+    sim::Tick admitted = cores.acquire(eq.now(), cfg.opProcessing);
+    std::uint32_t ep = currentEpoch;
+    eq.schedule(admitted, [this, ep, xact_id, commit, issued,
+                           done = std::move(done)] {
+        if (ep != currentEpoch)
+            return;
+        auto it = xactRecs.find(xact_id);
+        if (it == xactRecs.end()) {
+            OpResult res;
+            res.kind = OpKind::EndXact;
+            res.node = self;
+            res.issuedAt = issued;
+            res.completedAt = eq.now();
+            res.aborted = true;
+            done(res);
+            return;
+        }
+        XactRecord &xr = it->second;
+
+        if (!commit || xr.aborted) {
+            // Coordinator writes were buffered in the write set, so
+            // an abort simply discards them.
+            Message m = makeMsg(MsgType::EndX, 0, Version{}, 0);
+            m.xactId = xact_id;
+            m.commit = false;
+            broadcast(m);
+            if (xactTable)
+                xactTable->end(xact_id);
+            xactRecs.erase(it);
+            ctr.add("xact_aborted");
+            OpResult res;
+            res.kind = OpKind::EndXact;
+            res.node = self;
+            res.issuedAt = issued;
+            res.completedAt = eq.now();
+            res.aborted = true;
+            done(res);
+            return;
+        }
+
+        std::uint64_t round_id = nextOpId++;
+        xr.endRoundId = round_id;
+        Round round;
+        round.kind = Round::Kind::EndXact;
+        round.xactId = xact_id;
+        round.followersNeeded = followers;
+        round.issuedAt = issued;
+        round.done = done;
+
+        // Synchronous persistency: the transaction's VP is ENDX, so the
+        // coordinator persists all its writes here. Scope persistency
+        // hands the committed writes to their scopes' barrier.
+        if (cfg.model.persistency == Persistency::Synchronous) {
+            round.pendingLocalPersists =
+                static_cast<std::uint32_t>(xr.writes.size());
+            rounds.emplace(round_id, std::move(round));
+            for (const auto &w : xr.writes)
+                issuePersist(w.key, w.ver, round_id, false, 0, 0,
+                             false);
+        } else {
+            if (cfg.model.persistency == Persistency::Scope) {
+                for (const auto &w : xr.writes)
+                    scopeBuffers[w.scopeId].emplace_back(w.key, w.ver);
+            }
+            rounds.emplace(round_id, std::move(round));
+        }
+
+        Message m = makeMsg(MsgType::EndX, 0, Version{}, round_id);
+        m.xactId = xact_id;
+        m.commit = true;
+        broadcast(m);
+        checkRound(round_id);
+    });
+}
+
+// --------------------------------------------------------------------------
+// Scope persists
+// --------------------------------------------------------------------------
+
+void
+ProtocolNode::clientPersistScope(std::uint64_t scope_id, OpCompletion done)
+{
+    sim::Tick issued = eq.now();
+    sim::Tick admitted = cores.acquire(eq.now(), cfg.opProcessing);
+    std::uint32_t ep = currentEpoch;
+    eq.schedule(admitted, [this, ep, scope_id, issued,
+                           done = std::move(done)] {
+        if (ep != currentEpoch)
+            return;
+        // Under Eventual consistency the scope's UPDs may still be
+        // queued; push them out so followers hold the writes the
+        // PERSIST refers to (per-QP ordering delivers them first).
+        if (cfg.model.consistency == Consistency::Eventual)
+            flushLazyUpds();
+
+        std::uint64_t round_id = nextOpId++;
+        Round round;
+        round.kind = Round::Kind::ScopePersist;
+        round.scopeId = scope_id;
+        round.followersNeeded = followers;
+        round.issuedAt = issued;
+        round.done = done;
+
+        auto buf = scopeBuffers.find(scope_id);
+        if (buf != scopeBuffers.end()) {
+            round.pendingLocalPersists =
+                static_cast<std::uint32_t>(buf->second.size());
+            rounds.emplace(round_id, std::move(round));
+            for (const auto &[key, ver] : buf->second)
+                issuePersist(key, ver, round_id, false, 0, 0, false);
+            scopeBuffers.erase(buf);
+        } else {
+            rounds.emplace(round_id, std::move(round));
+        }
+
+        Message m = makeMsg(MsgType::Persist, 0, Version{}, round_id);
+        m.scopeId = scope_id;
+        broadcast(m);
+        checkRound(round_id);
+    });
+}
+
+// --------------------------------------------------------------------------
+// Coordinator round progress
+// --------------------------------------------------------------------------
+
+void
+ProtocolNode::completeWriteToClient(Round &round)
+{
+    if (round.clientNotified)
+        return;
+    round.clientNotified = true;
+    OpResult res;
+    res.kind = OpKind::Write;
+    res.key = round.key;
+    res.node = self;
+    res.issuedAt = round.issuedAt;
+    res.completedAt = eq.now();
+    res.version = round.ver;
+    ctr.add("writes_completed");
+    // Writes inside transactions report to the checker sink only when
+    // the whole transaction commits.
+    if (sink && round.xactId == 0)
+        sink->onWriteComplete(round.key, round.ver, eq.now());
+    if (round.done)
+        round.done(res);
+}
+
+void
+ProtocolNode::checkRound(std::uint64_t round_id)
+{
+    auto it = rounds.find(round_id);
+    if (it == rounds.end())
+        return;
+    Round &r = it->second;
+    const Persistency p = cfg.model.persistency;
+
+    switch (r.kind) {
+      case Round::Kind::Write: {
+        bool xact_or_propagated = !isAckRoundConsistency();
+        if (xact_or_propagated) {
+            // Only Strict persistency creates write rounds here: the
+            // write completes when durable everywhere.
+            if (r.acksP >= r.followersNeeded &&
+                r.pendingLocalPersists == 0) {
+                KeyReplica &kr = keyState(r.key);
+                if (kr.globalPersistVer < r.ver)
+                    kr.globalPersistVer = r.ver;
+                wakeWaiters(r.key);
+                completeWriteToClient(r);
+                rounds.erase(it);
+            }
+            return;
+        }
+
+        bool combined = p == Persistency::Strict ||
+                        p == Persistency::Synchronous;
+        if (combined) {
+            if (!r.consistencyDone && r.acksC >= r.followersNeeded &&
+                r.pendingLocalPersists == 0) {
+                r.consistencyDone = true;
+                r.persistencyDone = true;
+                Message val = makeMsg(MsgType::Val, r.key, r.ver, 0);
+                val.scopeId = r.scopeId;
+                multicast(r.key, val);
+                KeyReplica &kr = keyState(r.key);
+                if (kr.volatileVer < r.ver) {
+                    // A concurrent round for a newer version may have
+                    // already validated; never regress visibility.
+                    kr.volatileVer = r.ver;
+                    backend->put(r.key, r.ver.number);
+                }
+                kr.transient = false;
+                kr.pendingOpId = 0;
+                if (kr.globalPersistVer < r.ver)
+                    kr.globalPersistVer = r.ver;
+                completeWriteToClient(r);
+                wakeWaiters(r.key);
+            }
+        } else if (p == Persistency::ReadEnforced) {
+            if (!r.consistencyDone && r.acksC >= r.followersNeeded) {
+                r.consistencyDone = true;
+                Message val = makeMsg(MsgType::ValC, r.key, r.ver, 0);
+                multicast(r.key, val);
+                KeyReplica &kr = keyState(r.key);
+                if (kr.volatileVer < r.ver) {
+                    kr.volatileVer = r.ver;
+                    backend->put(r.key, r.ver.number);
+                }
+                kr.transient = false;
+                kr.pendingOpId = 0;
+                completeWriteToClient(r);
+                wakeWaiters(r.key);
+            }
+            if (!r.persistencyDone && r.acksP >= r.followersNeeded &&
+                r.pendingLocalPersists == 0) {
+                r.persistencyDone = true;
+                Message val = makeMsg(MsgType::ValP, r.key, r.ver, 0);
+                multicast(r.key, val);
+                KeyReplica &kr = keyState(r.key);
+                if (kr.globalPersistVer < r.ver)
+                    kr.globalPersistVer = r.ver;
+                wakeWaiters(r.key);
+            }
+        } else { // Scope / Eventual persistency: consistency round only
+            if (!r.consistencyDone && r.acksC >= r.followersNeeded) {
+                r.consistencyDone = true;
+                r.persistencyDone = true;
+                Message val = makeMsg(MsgType::ValC, r.key, r.ver, 0);
+                val.scopeId = r.scopeId;
+                multicast(r.key, val);
+                KeyReplica &kr = keyState(r.key);
+                if (kr.volatileVer < r.ver) {
+                    kr.volatileVer = r.ver;
+                    backend->put(r.key, r.ver.number);
+                }
+                kr.transient = false;
+                kr.pendingOpId = 0;
+                completeWriteToClient(r);
+                wakeWaiters(r.key);
+            }
+        }
+        if (r.consistencyDone && r.persistencyDone && r.clientNotified)
+            rounds.erase(it);
+        return;
+      }
+
+      case Round::Kind::InitXact: {
+        if (r.acksC >= r.followersNeeded &&
+            r.pendingLocalPersists == 0) {
+            OpResult res;
+            res.kind = OpKind::InitXact;
+            res.node = self;
+            res.issuedAt = r.issuedAt;
+            res.completedAt = eq.now();
+            if (r.done)
+                r.done(res);
+            rounds.erase(it);
+        }
+        return;
+      }
+
+      case Round::Kind::EndXact: {
+        if (r.acksC >= r.followersNeeded &&
+            r.pendingLocalPersists == 0) {
+            auto xit = xactRecs.find(r.xactId);
+            if (xit != xactRecs.end()) {
+                // Commit point at the coordinator: the buffered writes
+                // become visible (their local persists, if any, have
+                // already completed as part of this round).
+                for (const auto &w : xit->second.writes) {
+                    KeyReplica &kr = keyState(w.key);
+                    noteVersion(w.key, w.ver);
+                    if (kr.volatileVer < w.ver) {
+                        kr.volatileVer = w.ver;
+                        backend->put(w.key, w.ver.number);
+                    }
+                    wakeWaiters(w.key);
+                    if (sink)
+                        sink->onWriteComplete(w.key, w.ver, eq.now());
+                }
+                xactRecs.erase(xit);
+            }
+            if (xactTable)
+                xactTable->end(r.xactId);
+            ctr.add("xact_committed");
+
+            Message val = makeMsg(MsgType::Val, 0, Version{}, 0);
+            val.xactId = r.xactId;
+            broadcast(val);
+
+            OpResult res;
+            res.kind = OpKind::EndXact;
+            res.node = self;
+            res.issuedAt = r.issuedAt;
+            res.completedAt = eq.now();
+            if (r.done)
+                r.done(res);
+            rounds.erase(it);
+        }
+        return;
+      }
+
+      case Round::Kind::ScopePersist: {
+        if (r.acksP >= r.followersNeeded &&
+            r.pendingLocalPersists == 0) {
+            Message val = makeMsg(MsgType::ValP, 0, Version{}, 0);
+            val.scopeId = r.scopeId;
+            broadcast(val);
+            OpResult res;
+            res.kind = OpKind::PersistScope;
+            res.node = self;
+            res.issuedAt = r.issuedAt;
+            res.completedAt = eq.now();
+            if (r.done)
+                r.done(res);
+            rounds.erase(it);
+        }
+        return;
+      }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Message handling
+// --------------------------------------------------------------------------
+
+void
+ProtocolNode::handleMessage(const Message &msg)
+{
+    if (msg.epoch != currentEpoch)
+        return; // stale traffic from before a crash
+    sim::Tick cost = cfg.msgProcessing;
+    if (msg.type == MsgType::Upd &&
+        cfg.model.consistency == Consistency::Causal) {
+        cost += cfg.causalUpdOverhead;
+    }
+    sim::Tick admitted = cores.acquire(eq.now(), cost);
+    std::uint32_t ep = currentEpoch;
+    eq.schedule(admitted, [this, ep, msg] {
+        if (ep == currentEpoch)
+            processMessage(msg);
+    });
+}
+
+void
+ProtocolNode::processMessage(const Message &msg)
+{
+    switch (msg.type) {
+      case MsgType::Inv:
+        handleInv(msg);
+        break;
+      case MsgType::Ack:
+      case MsgType::AckC:
+      case MsgType::AckP:
+        handleAck(msg);
+        break;
+      case MsgType::Val:
+      case MsgType::ValC:
+      case MsgType::ValP:
+        handleVal(msg);
+        break;
+      case MsgType::Upd:
+        handleUpd(msg);
+        break;
+      case MsgType::InitX:
+        handleInitX(msg);
+        break;
+      case MsgType::EndX:
+        handleEndX(msg);
+        break;
+      case MsgType::Persist:
+        handlePersistScope(msg);
+        break;
+      case MsgType::RecQuery:
+      case MsgType::RecSummary:
+      case MsgType::RecInstall:
+      case MsgType::RecAck:
+        recovery->onMessage(msg);
+        break;
+    }
+}
+
+void
+ProtocolNode::handleInv(const Message &msg)
+{
+    const Persistency p = cfg.model.persistency;
+    noteVersion(msg.key, msg.version);
+    hierarchy.deliverDdio(addrOf(msg.key));
+
+    if (msg.xactId != 0) {
+        // Transactional write: buffer until ENDX; acknowledge per the
+        // persistency model (Fig. 4: no persist wait except Strict).
+        XactRecord &xr = xactRecs[msg.xactId];
+        xr.id = msg.xactId;
+        xr.coordinator = msg.src;
+        xr.writes.push_back({msg.key, msg.version, msg.scopeId});
+        if (p == Persistency::Strict) {
+            issuePersist(msg.key, msg.version, 0, true, msg.src,
+                         msg.opId, false);
+        } else {
+            sendTo(msg.src,
+                   makeMsg(MsgType::AckC, msg.key, msg.version,
+                           msg.opId));
+        }
+        return;
+    }
+
+    KeyReplica &kr = keyState(msg.key);
+    kr.transient = true;
+    if (kr.transientVer < msg.version)
+        kr.transientVer = msg.version;
+
+    switch (p) {
+      case Persistency::Strict:
+      case Persistency::Synchronous:
+        // Persist before acknowledging: the combined ACK certifies both
+        // the volatile update and its durability.
+        issuePersist(msg.key, msg.version, 0, true, msg.src, msg.opId,
+                     false);
+        break;
+      case Persistency::ReadEnforced:
+        sendTo(msg.src,
+               makeMsg(MsgType::AckC, msg.key, msg.version, msg.opId));
+        issuePersist(msg.key, msg.version, 0, true, msg.src, msg.opId,
+                     false);
+        break;
+      case Persistency::Scope:
+        sendTo(msg.src,
+               makeMsg(MsgType::AckC, msg.key, msg.version, msg.opId));
+        scopeBuffers[msg.scopeId].emplace_back(msg.key, msg.version);
+        break;
+      case Persistency::Eventual: {
+        sendTo(msg.src,
+               makeMsg(MsgType::AckC, msg.key, msg.version, msg.opId));
+        std::uint32_t ep = currentEpoch;
+        KeyId key = msg.key;
+        Version ver = msg.version;
+        eq.scheduleIn(cfg.lazyPersistDelay, [this, ep, key, ver] {
+            if (ep == currentEpoch)
+                issuePersist(key, ver, 0, false, 0, 0, false);
+        });
+        break;
+      }
+    }
+}
+
+void
+ProtocolNode::handleAck(const Message &msg)
+{
+    auto it = rounds.find(msg.opId);
+    if (it == rounds.end()) {
+        ctr.add("acks_unmatched");
+        return;
+    }
+    Round &r = it->second;
+    switch (msg.type) {
+      case MsgType::Ack:
+        ++r.acksC;
+        ++r.acksP;
+        break;
+      case MsgType::AckC:
+        ++r.acksC;
+        break;
+      case MsgType::AckP:
+        ++r.acksP;
+        break;
+      default:
+        break;
+    }
+    checkRound(msg.opId);
+}
+
+void
+ProtocolNode::handleVal(const Message &msg)
+{
+    if (msg.xactId != 0 || (msg.key == 0 && msg.scopeId != 0 &&
+                            msg.type == MsgType::ValP)) {
+        // Transaction/scope completion markers carry no per-key state.
+        return;
+    }
+    noteVersion(msg.key, msg.version);
+    KeyReplica &kr = keyState(msg.key);
+
+    if (msg.type == MsgType::Val || msg.type == MsgType::ValC) {
+        if (kr.volatileVer < msg.version) {
+            kr.volatileVer = msg.version;
+            backend->put(msg.key, msg.version.number);
+        }
+        if (kr.transient && msg.version >= kr.transientVer)
+            kr.transient = false;
+        if (msg.type == MsgType::Val &&
+            kr.globalPersistVer < msg.version) {
+            // A combined VAL certifies durability everywhere.
+            kr.globalPersistVer = msg.version;
+        }
+    } else { // ValP
+        if (kr.globalPersistVer < msg.version)
+            kr.globalPersistVer = msg.version;
+    }
+    wakeWaiters(msg.key);
+}
+
+bool
+ProtocolNode::causalDepsSatisfied(const VectorClock &deps) const
+{
+    // Strict and Synchronous persistency bind durability to the VP:
+    // an update may only become visible (and be persisted) after its
+    // entire happens-before history is durable on this node. Weaker
+    // persistency models only require volatile causal order.
+    const Persistency p = cfg.model.persistency;
+    if (cfg.causalDurableGating &&
+        (p == Persistency::Strict || p == Persistency::Synchronous))
+        return durableApplied.dominates(deps);
+    return applied.dominates(deps);
+}
+
+void
+ProtocolNode::noteCausalDurable(NodeId origin, std::uint64_t seq)
+{
+    // Persists can complete out of order across NVM banks; advance the
+    // durable clock contiguously.
+    pendingDurable[origin].insert(seq);
+    auto &set = pendingDurable[origin];
+    while (!set.empty() && *set.begin() == durableApplied[origin] + 1) {
+        durableApplied[origin] = *set.begin();
+        set.erase(set.begin());
+    }
+}
+
+void
+ProtocolNode::handleUpd(const Message &msg)
+{
+    if (cfg.model.consistency == Consistency::Causal) {
+        VectorClock deps = VectorClock::fromRaw(msg.cauhist);
+        // Per-origin FIFO order must be preserved: if earlier UPDs
+        // from this origin are still buffered, this one queues behind
+        // them even if its own dependencies happen to be satisfied.
+        if (causalBuffer[msg.src].empty() && causalDepsSatisfied(deps)) {
+            applyCausalUpd(msg);
+            drainCausalBuffer();
+        } else {
+            causalBuffer[msg.src].push_back(msg);
+            ++causalBuffered;
+            ctr.add("causal_buffered");
+            if (causalBuffered > causalPeak)
+                causalPeak = causalBuffered;
+        }
+        return;
+    }
+
+    // Eventual consistency: apply in arrival order, no version check —
+    // this is what costs the model its monotonic reads (Table 4 row 5).
+    KeyReplica &kr = keyState(msg.key);
+    noteVersion(msg.key, msg.version);
+    kr.volatileVer = msg.version;
+    backend->put(msg.key, msg.version.number);
+    hierarchy.deliverDdio(addrOf(msg.key));
+
+    const Persistency p = cfg.model.persistency;
+    if (p == Persistency::Strict) {
+        issuePersist(msg.key, msg.version, 0, true, msg.src, msg.opId,
+                     true);
+    } else if (p == Persistency::Synchronous ||
+               p == Persistency::ReadEnforced) {
+        issuePersist(msg.key, msg.version, 0, false, 0, 0, true);
+    } else if (p == Persistency::Scope) {
+        scopeBuffers[msg.scopeId].emplace_back(msg.key, msg.version);
+    } else {
+        std::uint32_t ep = currentEpoch;
+        KeyId key = msg.key;
+        Version ver = msg.version;
+        eq.scheduleIn(cfg.lazyPersistDelay, [this, ep, key, ver] {
+            if (ep == currentEpoch)
+                issuePersist(key, ver, 0, false, 0, 0, true);
+        });
+    }
+    wakeWaiters(msg.key);
+}
+
+void
+ProtocolNode::applyCausalUpd(const Message &msg)
+{
+    VectorClock deps = VectorClock::fromRaw(msg.cauhist);
+    NodeId origin = msg.src;
+    std::uint64_t seq = deps[origin] + 1;
+    if (applied[origin] < seq)
+        applied[origin] = seq;
+
+    KeyReplica &kr = keyState(msg.key);
+    noteVersion(msg.key, msg.version);
+    if (kr.volatileVer < msg.version) {
+        kr.volatileVer = msg.version;
+        backend->put(msg.key, msg.version.number);
+        hierarchy.deliverDdio(addrOf(msg.key));
+    }
+
+    const Persistency p = cfg.model.persistency;
+    if (p == Persistency::Strict || p == Persistency::Synchronous) {
+        // The durable clock only advances once this update's own
+        // persist completes, which in turn unblocks buffered UPDs that
+        // depend on it.
+        issuePersist(msg.key, msg.version, 0,
+                     /*follower_acks=*/p == Persistency::Strict, msg.src,
+                     msg.opId, false, origin, seq);
+    } else if (p == Persistency::ReadEnforced) {
+        issuePersist(msg.key, msg.version, 0, false, 0, 0, false);
+    } else if (p == Persistency::Scope) {
+        scopeBuffers[msg.scopeId].emplace_back(msg.key, msg.version);
+    } else {
+        std::uint32_t ep = currentEpoch;
+        KeyId key = msg.key;
+        Version ver = msg.version;
+        eq.scheduleIn(cfg.lazyPersistDelay, [this, ep, key, ver] {
+            if (ep == currentEpoch)
+                issuePersist(key, ver, 0, false, 0, 0, false);
+        });
+    }
+    wakeWaiters(msg.key);
+}
+
+void
+ProtocolNode::drainCausalBuffer()
+{
+    // Only queue heads can become applicable; an apply may unblock
+    // other origins' heads, so loop until a full pass makes no
+    // progress.
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (auto &queue : causalBuffer) {
+            while (!queue.empty()) {
+                VectorClock deps =
+                    VectorClock::fromRaw(queue.front().cauhist);
+                if (!causalDepsSatisfied(deps))
+                    break;
+                Message m = std::move(queue.front());
+                queue.pop_front();
+                --causalBuffered;
+                applyCausalUpd(m);
+                progress = true;
+            }
+        }
+    }
+}
+
+void
+ProtocolNode::handleInitX(const Message &msg)
+{
+    XactRecord &xr = xactRecs[msg.xactId];
+    xr.id = msg.xactId;
+    xr.coordinator = msg.src;
+
+    const Persistency p = cfg.model.persistency;
+    if (p == Persistency::Strict || p == Persistency::Synchronous) {
+        // Persist the transaction-begin event before acknowledging.
+        sim::Tick done_at = nvmDev.write(eq.now(), xactLogAddr(msg.xactId));
+        std::uint32_t ep = currentEpoch;
+        NodeId dst = msg.src;
+        std::uint64_t op = msg.opId;
+        eq.schedule(done_at, [this, ep, dst, op] {
+            if (ep == currentEpoch)
+                sendTo(dst, makeMsg(MsgType::Ack, 0, Version{}, op));
+        });
+    } else {
+        sendTo(msg.src, makeMsg(MsgType::Ack, 0, Version{}, msg.opId));
+    }
+}
+
+void
+ProtocolNode::handleEndX(const Message &msg)
+{
+    auto it = xactRecs.find(msg.xactId);
+    if (!msg.commit) {
+        if (it != xactRecs.end())
+            xactRecs.erase(it);
+        return;
+    }
+
+    // Collect the transaction's buffered writes in version order.
+    std::vector<XactWrite> writes;
+    if (it != xactRecs.end()) {
+        writes = std::move(it->second.writes);
+        xactRecs.erase(it);
+    }
+    std::sort(writes.begin(), writes.end(),
+              [](const XactWrite &a, const XactWrite &b) {
+                  return a.ver < b.ver;
+              });
+
+    auto apply_all = [this, writes] {
+        for (const auto &w : writes) {
+            KeyReplica &kr = keyState(w.key);
+            noteVersion(w.key, w.ver);
+            if (kr.volatileVer < w.ver) {
+                kr.volatileVer = w.ver;
+                backend->put(w.key, w.ver.number);
+            }
+            wakeWaiters(w.key);
+        }
+    };
+
+    const Persistency p = cfg.model.persistency;
+    NodeId dst = msg.src;
+    std::uint64_t op = msg.opId;
+
+    if (p == Persistency::Synchronous && !writes.empty()) {
+        // Persist first, make visible second, ACK last: reads must
+        // never observe a transaction that could still be wiped out
+        // (this is what keeps Table 4's monotonic-reads "yes").
+        auto remaining = std::make_shared<std::size_t>(writes.size());
+        for (const auto &w : writes) {
+            issuePersist(w.key, w.ver, 0, false, 0, 0, false,
+                         net::kNoNode, 0,
+                         [this, remaining, apply_all, dst, op] {
+                if (--*remaining == 0) {
+                    apply_all();
+                    sendTo(dst,
+                           makeMsg(MsgType::Ack, 0, Version{}, op));
+                }
+            });
+        }
+        return;
+    }
+    apply_all();
+
+    if (p == Persistency::ReadEnforced) {
+        for (const auto &w : writes)
+            issuePersist(w.key, w.ver, 0, false, 0, 0, false);
+    } else if (p == Persistency::Scope) {
+        // Each committed write joins its own scope's barrier.
+        for (const auto &w : writes)
+            scopeBuffers[w.scopeId].emplace_back(w.key, w.ver);
+    } else if (p == Persistency::Eventual) {
+        for (const auto &w : writes) {
+            std::uint32_t ep = currentEpoch;
+            KeyId k = w.key;
+            Version v = w.ver;
+            eq.scheduleIn(cfg.lazyPersistDelay, [this, ep, k, v] {
+                if (ep == currentEpoch)
+                    issuePersist(k, v, 0, false, 0, 0, false);
+            });
+        }
+    }
+    // Strict: the writes were persisted at INV time.
+    sendTo(dst, makeMsg(MsgType::Ack, 0, Version{}, op));
+}
+
+void
+ProtocolNode::handlePersistScope(const Message &msg)
+{
+    auto it = scopeBuffers.find(msg.scopeId);
+    NodeId dst = msg.src;
+    std::uint64_t op = msg.opId;
+
+    if (it == scopeBuffers.end() || it->second.empty()) {
+        if (it != scopeBuffers.end())
+            scopeBuffers.erase(it);
+        sendTo(dst, makeMsg(MsgType::AckP, 0, Version{}, op));
+        return;
+    }
+
+    auto remaining = std::make_shared<std::size_t>(it->second.size());
+    std::vector<std::pair<KeyId, Version>> entries =
+        std::move(it->second);
+    scopeBuffers.erase(it);
+    for (const auto &[key, ver] : entries) {
+        issuePersist(key, ver, 0, false, 0, 0, false, net::kNoNode, 0,
+                     [this, remaining, dst, op] {
+            if (--*remaining == 0)
+                sendTo(dst, makeMsg(MsgType::AckP, 0, Version{}, op));
+        });
+    }
+}
+
+// --------------------------------------------------------------------------
+// Eventual-consistency lazy propagation
+// --------------------------------------------------------------------------
+
+void
+ProtocolNode::enqueueLazyUpd(Message msg)
+{
+    lazyQueue.push_back(std::move(msg));
+    if (!lazyFlushScheduled) {
+        lazyFlushScheduled = true;
+        std::uint32_t ep = currentEpoch;
+        eq.scheduleIn(cfg.lazyUpdDelay, [this, ep] {
+            if (ep == currentEpoch)
+                flushLazyUpds();
+        });
+    }
+}
+
+void
+ProtocolNode::flushLazyUpds()
+{
+    lazyFlushScheduled = false;
+    std::vector<Message> pending = std::move(lazyQueue);
+    lazyQueue.clear();
+    for (auto &m : pending) {
+        KeyId key = m.key;
+        ctr.add("upd_sent", rmap.followerCount(key));
+        multicast(key, std::move(m));
+    }
+}
+
+// --------------------------------------------------------------------------
+// Failure and recovery
+// --------------------------------------------------------------------------
+
+void
+ProtocolNode::abortInFlight()
+{
+    ++currentEpoch;
+    rounds.clear();
+    xactRecs.clear();
+    scopeBuffers.clear();
+    causalBuffer.assign(cfg.numNodes, {});
+    causalBuffered = 0;
+    lazyQueue.clear();
+    lazyFlushScheduled = false;
+    applied = VectorClock(cfg.numNodes);
+    durableApplied = VectorClock(cfg.numNodes);
+    pendingDurable.assign(cfg.numNodes, {});
+    for (auto &kr : keys) {
+        kr.transient = false;
+        kr.transientVer = Version{};
+        kr.pendingOpId = 0;
+        kr.waiters.clear();
+        kr.persistBusy = false;
+        kr.activeObligations.clear();
+        kr.hasPendingPersist = false;
+        kr.pendingObligations.clear();
+    }
+}
+
+void
+ProtocolNode::crashVolatile()
+{
+    abortInFlight();
+    hierarchy.crash();
+
+    for (KeyId key = 0; key < keys.size(); ++key) {
+        KeyReplica &kr = keys[key];
+        kr.volatileVer = kr.persistedVer;
+        if (kr.globalPersistVer > kr.persistedVer)
+            kr.globalPersistVer = kr.persistedVer;
+        if (kr.persistedVer.number > 0)
+            backend->put(key, kr.persistedVer.number);
+        else
+            backend->erase(key);
+    }
+}
+
+void
+ProtocolNode::installRecovered(KeyId key, Version version)
+{
+    KeyReplica &kr = keyState(key);
+    kr.volatileVer = version;
+    kr.persistedVer = version;
+    kr.globalPersistVer = version;
+    noteVersion(key, version);
+    if (version.number > 0)
+        backend->put(key, version.number);
+}
+
+Version
+ProtocolNode::visibleVersion(KeyId key) const
+{
+    return keyState(key).volatileVer;
+}
+
+Version
+ProtocolNode::persistedVersion(KeyId key) const
+{
+    return keyState(key).persistedVer;
+}
+
+} // namespace ddp::core

@@ -1,0 +1,451 @@
+/**
+ * @file
+ * The DDP protocol engine: one replica node of the cluster.
+ *
+ * Implements the paper's low-latency, leaderless protocols (Sec. 5) for
+ * every <consistency, persistency> binding. Following Hermes
+ * terminology, the node that receives a client's request for a key is
+ * that request's Coordinator and every other node is a Follower; keys
+ * are replicated on all nodes.
+ *
+ * The engine composes two orthogonal rule sets at their interaction
+ * points:
+ *
+ *  - the consistency model decides when an update becomes visible
+ *    (INV/ACK_c/VAL_c rounds for Linearizable and Read-Enforced,
+ *    buffered-until-ENDX application for Transactional, dependency-
+ *    ordered UPDs for Causal, arrival-ordered lazy UPDs for Eventual);
+ *
+ *  - the persistency model decides when an update becomes durable
+ *    (persist-before-ACK for Strict/Synchronous, decoupled
+ *    ACK_p/VAL_p for Read-Enforced, deferred scope barriers for Scope,
+ *    lazy background persists for Eventual) and when reads must stall
+ *    for durability.
+ *
+ * All timing flows through the shared EventQueue; worker-core
+ * occupancy, cache-hierarchy latency, NVM bank/channel queueing, and
+ * NIC serialization are charged via the substrate models.
+ */
+
+#ifndef DDP_CORE_PROTOCOL_NODE_HH
+#define DDP_CORE_PROTOCOL_NODE_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "ddp/client_api.hh"
+#include "ddp/models.hh"
+#include "ddp/recovery.hh"
+#include "ddp/replication.hh"
+#include "ddp/vector_clock.hh"
+#include "ddp/xact_table.hh"
+#include "kv/store.hh"
+#include "mem/cache.hh"
+#include "mem/memory_device.hh"
+#include "net/fabric.hh"
+#include "sim/event_queue.hh"
+#include "sim/resource.hh"
+#include "stats/counter.hh"
+
+namespace ddp::core {
+
+/** Per-node configuration (paper Table 5 defaults). */
+struct NodeParams
+{
+    DdpModel model{};
+    std::uint32_t numNodes = 5;
+    /**
+     * Replicas per key (0 = every node, the paper's setting). Partial
+     * replication is supported for Linearizable, Read-Enforced, and
+     * Eventual consistency; Causal and Transactional require full
+     * replication (their metadata assumes every node sees every write).
+     */
+    std::uint32_t replicationFactor = 0;
+    std::uint32_t workerCores = 20;
+    std::uint64_t keyCount = 10000;
+    kv::StoreKind storeKind = kv::StoreKind::HashTable;
+
+    /**
+     * Base CPU cost of admitting and executing a client request
+     * (request parse, dispatch, response marshaling — the application
+     * work a memcached-class server performs per request).
+     */
+    sim::Tick opProcessing = 1000 * sim::kNanosecond;
+    /** CPU cost of handling one protocol message. */
+    sim::Tick msgProcessing = 60 * sim::kNanosecond;
+    /**
+     * Extra CPU cost of receiving a Causal UPD: dependency-clock
+     * comparison and buffer management (cauhist enforcement is the
+     * implementability cost Table 4 charges the Causal rows).
+     */
+    sim::Tick causalUpdOverhead = 60 * sim::kNanosecond;
+    /**
+     * CPU cost of re-admitting an operation after a stall wake-up.
+     * Parked requests re-execute their checks when the key state
+     * changes; under hot-key contention this wasted work grows with
+     * the client count (the read/write conflict effect of Fig. 7).
+     */
+    sim::Tick stallRetryCost = 100 * sim::kNanosecond;
+    /**
+     * Transactional conflicts first stall-and-retry this many times
+     * (the paper's "stall" flavor) before squashing the transaction
+     * (the "squash" flavor).
+     */
+    std::uint32_t xactConflictRetries = 4;
+    /** Delay between transactional conflict retries. */
+    sim::Tick xactConflictRetryDelay = 500 * sim::kNanosecond;
+
+    /**
+     * Write-pending-queue coalescing of NVM persists (DESIGN.md §5.3).
+     * Disable to ablate: every persist then issues its own NVM write
+     * and hot keys serialize their bank.
+     */
+    bool persistCoalescing = true;
+
+    /**
+     * Durability gating of causal applies under Strict/Synchronous
+     * persistency (DESIGN.md §5.5). Disable to ablate: UPDs then apply
+     * as soon as their dependencies are *visible*, eliminating the
+     * buffering the paper measures in Sec. 8.1.2.
+     */
+    bool causalDurableGating = true;
+    /**
+     * How long an access keeps colliding with other transactions'
+     * accesses to the same key: the time the request is open in a
+     * worker's processing pipeline, where the paper's conflict check
+     * compares addresses. (A whole-transaction-lifetime window would
+     * serialize every hot zipfian key and contradicts the paper's own
+     * ~30% conflict rate at high throughput; see DESIGN.md §5.)
+     */
+    sim::Tick xactConflictWindow = 250 * sim::kNanosecond;
+    /** CPU cost per store node/slot probe. */
+    sim::Tick probeCost = 15 * sim::kNanosecond;
+    /** Propagation laziness of Eventual consistency UPDs. */
+    sim::Tick lazyUpdDelay = 5 * sim::kMicrosecond;
+    /** Persist laziness of Eventual persistency. */
+    sim::Tick lazyPersistDelay = 5 * sim::kMicrosecond;
+
+    mem::MemoryParams nvmParams = mem::MemoryParams::nvm();
+    mem::MemoryParams dramParams = mem::MemoryParams::dram();
+    mem::CacheHierarchyParams cacheParams =
+        mem::CacheHierarchyParams::paperDefault();
+};
+
+/**
+ * One server of the distributed system: worker cores, cache hierarchy,
+ * DRAM + NVM, a KV store backend, and the DDP protocol state machine.
+ */
+class ProtocolNode
+{
+  public:
+    ProtocolNode(sim::EventQueue &eq, net::Fabric &fabric,
+                 net::NodeId self, const NodeParams &params,
+                 stats::CounterRegistry &counters,
+                 XactConflictTable *xact_table);
+
+    ProtocolNode(const ProtocolNode &) = delete;
+    ProtocolNode &operator=(const ProtocolNode &) = delete;
+
+    net::NodeId id() const { return self; }
+    const NodeParams &params() const { return cfg; }
+    const ReplicaMap &replicaMap() const { return rmap; }
+
+    // --- Client API ------------------------------------------------------
+    /** Issue a read of @p key at this node. */
+    void clientRead(net::KeyId key, OpContext ctx, OpCompletion done);
+    /** Issue a write of @p key at this node. */
+    void clientWrite(net::KeyId key, OpContext ctx, OpCompletion done);
+    /** Begin transaction @p xact_id (Transactional consistency only). */
+    void clientInitXact(std::uint64_t xact_id, OpCompletion done);
+    /** End transaction @p xact_id; @p commit false aborts it. */
+    void clientEndXact(std::uint64_t xact_id, bool commit,
+                       OpCompletion done);
+    /** Persist scope @p scope_id (Scope persistency only). */
+    void clientPersistScope(std::uint64_t scope_id, OpCompletion done);
+
+    // --- Failure & recovery ------------------------------------------------
+    /**
+     * Lose all volatile state (caches, in-flight protocol state,
+     * unpersisted replica versions). Durable NVM contents survive.
+     * Bumps the node's epoch so stale messages and timer continuations
+     * are discarded.
+     */
+    void crashVolatile();
+
+    /**
+     * Abandon all in-flight protocol state (rounds, buffered updates,
+     * stalled operations) without losing volatile replica data. Used on
+     * the surviving nodes when part of the cluster crashes: timeouts
+     * would abort the affected exchanges in a real deployment.
+     */
+    void abortInFlight();
+
+    /** Install @p version for @p key as both volatile and durable. */
+    void installRecovered(net::KeyId key, net::Version version);
+
+    /**
+     * Deliver a protocol message directly, bypassing the fabric. Used
+     * by replay and interleaving-exploration tooling; normal traffic
+     * arrives through the fabric attachment made in the constructor.
+     */
+    void deliver(const net::Message &msg) { handleMessage(msg); }
+
+    /** Latest visible version of @p key on this node. */
+    net::Version visibleVersion(net::KeyId key) const;
+    /** Latest locally durable version of @p key. */
+    net::Version persistedVersion(net::KeyId key) const;
+
+    std::uint32_t epoch() const { return currentEpoch; }
+
+    // --- Introspection ------------------------------------------------------
+    void setSink(EventSink *s) { sink = s; }
+
+    mem::MemoryDevice &nvm() { return nvmDev; }
+    mem::MemoryDevice &dram() { return dramDev; }
+    const mem::CacheHierarchy &caches() const { return hierarchy; }
+    kv::Store &store() { return *backend; }
+
+    /**
+     * The node's message-driven recovery participant. One node runs
+     * RecoveryAgent::startCoordinator() after a cluster-wide crash;
+     * the others answer its queries automatically.
+     */
+    RecoveryAgent &recoveryAgent() { return *recovery; }
+
+    /** Largest causal buffer occupancy seen (paper Sec. 8.1.2). */
+    std::uint64_t causalBufferPeak() const { return causalPeak; }
+    /** Current causal buffer occupancy. */
+    std::size_t causalBufferSize() const { return causalBuffered; }
+
+  private:
+    // --- Per-key replica state ----------------------------------------------
+    struct Waiter
+    {
+        enum class Kind
+        {
+            KeyValid,      ///< reads: key not in Transient state
+            WriteSlot,     ///< writes: no local pending write either
+            GlobalPersist, ///< globalPersistVer >= ver
+            LocalPersist,  ///< persistedVer >= ver
+        };
+        Kind kind;
+        net::Version ver;
+        std::function<void()> resume;
+    };
+
+    /** Fires when a persist covering the obligation's version
+     *  completes; the argument is the covering version. */
+    using PersistObligation = std::function<void(net::Version)>;
+
+    struct KeyReplica
+    {
+        net::Version volatileVer;      ///< latest visible version
+        net::Version persistedVer;     ///< durable in local NVM
+        net::Version globalPersistVer; ///< durable on all replicas
+        net::Version maxSeen;          ///< version-number allocator input
+        bool transient = false;        ///< INV seen, VAL pending
+        net::Version transientVer;
+        std::uint64_t pendingOpId = 0; ///< local write round in flight
+        std::vector<Waiter> waiters;
+
+        /**
+         * Write-pending-queue coalescing state: at most one NVM write
+         * per key is in flight; persists requested meanwhile merge
+         * into a single follow-up write of the newest version, exactly
+         * as a memory controller combines stores to one line.
+         */
+        bool persistBusy = false;
+        net::Version activePersistVer;
+        bool activeArrival = false;
+        std::vector<PersistObligation> activeObligations;
+        bool hasPendingPersist = false;
+        net::Version pendingPersistVer;
+        bool pendingArrival = false;
+        std::vector<PersistObligation> pendingObligations;
+    };
+
+    // --- Coordinator rounds -------------------------------------------------
+    struct Round
+    {
+        enum class Kind
+        {
+            Write,
+            InitXact,
+            EndXact,
+            ScopePersist,
+        };
+        Kind kind = Kind::Write;
+        net::KeyId key = 0;
+        net::Version ver{};
+        std::uint64_t xactId = 0;
+        std::uint64_t scopeId = 0;
+        std::uint32_t acksC = 0;
+        std::uint32_t acksP = 0;
+        /** Follower acknowledgments this round waits for. */
+        std::uint32_t followersNeeded = 0;
+        std::uint32_t pendingLocalPersists = 0;
+        bool consistencyDone = false;
+        bool persistencyDone = false;
+        bool clientNotified = false;
+        sim::Tick issuedAt = 0;
+        OpCompletion done;
+    };
+
+    // --- Transaction & scope records ---------------------------------------
+    struct XactWrite
+    {
+        net::KeyId key = 0;
+        net::Version ver{};
+        std::uint64_t scopeId = 0;
+    };
+
+    struct XactRecord
+    {
+        std::uint64_t id = 0;
+        net::NodeId coordinator = 0;
+        bool aborted = false;
+        bool hadConflict = false;
+        /** Writes buffered until the transaction commits (both at the
+         *  coordinator and at followers). */
+        std::vector<XactWrite> writes;
+        std::uint32_t pendingPersists = 0;
+        std::uint64_t endRoundId = 0;
+    };
+
+
+    // --- Internal helpers ----------------------------------------------------
+    static std::uint64_t addrOf(net::KeyId key) { return key * 64; }
+    std::uint64_t xactLogAddr(std::uint64_t xact_id) const;
+
+    bool isAckRoundConsistency() const;
+    KeyReplica &keyState(net::KeyId key);
+    const KeyReplica &keyState(net::KeyId key) const;
+    net::Version allocateVersion(net::KeyId key);
+    void noteVersion(net::KeyId key, net::Version ver);
+
+    void wakeWaiters(net::KeyId key);
+    bool waiterSatisfied(const KeyReplica &kr, const Waiter &w) const;
+
+    /** Charge local cache/store access; returns extra local latency. */
+    sim::Tick chargeLocalAccess(net::KeyId key, bool is_write);
+
+    net::Message makeMsg(net::MsgType type, net::KeyId key,
+                         net::Version ver, std::uint64_t op_id) const;
+    void sendTo(net::NodeId dst, net::Message msg);
+    void broadcast(net::Message msg);
+    /** Send @p msg to every *replica* of @p key except this node. */
+    void multicast(net::KeyId key, net::Message msg);
+
+    // Read path.
+    struct ReadCtx;
+    void execRead(net::KeyId key, std::shared_ptr<ReadCtx> rc);
+    void finishRead(net::KeyId key, const std::shared_ptr<ReadCtx> &rc);
+
+    // Write path.
+    struct WriteCtx;
+    void execWrite(net::KeyId key, std::shared_ptr<WriteCtx> wc);
+    void startAckRoundWrite(net::KeyId key,
+                            const std::shared_ptr<WriteCtx> &wc);
+    void startXactWrite(net::KeyId key,
+                        const std::shared_ptr<WriteCtx> &wc);
+    void startPropagatedWrite(net::KeyId key,
+                              const std::shared_ptr<WriteCtx> &wc);
+
+    // Persist machinery.
+    void issuePersist(net::KeyId key, net::Version ver,
+                      std::uint64_t round_id, bool follower_acks,
+                      net::NodeId ack_dst, std::uint64_t ack_op,
+                      bool arrival_order,
+                      net::NodeId causal_origin = net::kNoNode,
+                      std::uint64_t causal_seq = 0,
+                      std::function<void()> on_durable = {});
+    void startKeyPersist(net::KeyId key, net::Version ver,
+                         bool arrival_order,
+                         std::vector<PersistObligation> obligations);
+    void onKeyPersistDone(net::KeyId key);
+
+    // Coordinator round progress.
+    void checkRound(std::uint64_t round_id);
+    void completeWriteToClient(Round &round);
+
+    // Message handlers (post core-occupancy).
+    void handleMessage(const net::Message &msg);
+    void processMessage(const net::Message &msg);
+    void handleInv(const net::Message &msg);
+    void handleAck(const net::Message &msg);
+    void handleVal(const net::Message &msg);
+    void handleUpd(const net::Message &msg);
+    void handleInitX(const net::Message &msg);
+    void handleEndX(const net::Message &msg);
+    void handlePersistScope(const net::Message &msg);
+
+    // Causal machinery.
+    bool causalDepsSatisfied(const VectorClock &deps) const;
+    void applyCausalUpd(const net::Message &msg);
+    void noteCausalDurable(net::NodeId origin, std::uint64_t seq);
+    void drainCausalBuffer();
+
+    // Eventual-consistency lazy propagation.
+    void enqueueLazyUpd(net::Message msg);
+    void flushLazyUpds();
+
+    // --- Members ----------------------------------------------------------
+    sim::EventQueue &eq;
+    net::Fabric &fabric;
+    net::NodeId self;
+    NodeParams cfg;
+    stats::CounterRegistry &ctr;
+    XactConflictTable *xactTable;
+    EventSink *sink = nullptr;
+
+    mem::MemoryDevice nvmDev;
+    mem::MemoryDevice dramDev;
+    mem::CacheHierarchy hierarchy;
+    std::unique_ptr<kv::Store> backend;
+    sim::ResourcePool cores;
+
+    std::vector<KeyReplica> keys;
+    std::unordered_map<std::uint64_t, Round> rounds;
+    std::unordered_map<std::uint64_t, XactRecord> xactRecs;
+    std::unordered_map<std::uint64_t,
+                       std::vector<std::pair<net::KeyId, net::Version>>>
+        scopeBuffers;
+
+    VectorClock applied;
+    /**
+     * Durable causal progress: entry i counts the UPDs from server i
+     * whose local persists have completed, advanced contiguously.
+     * Under Strict/Synchronous persistency a causal UPD may only be
+     * applied once its dependencies are durable here — the buffering
+     * cost the paper measures in Sec. 8.1.2.
+     */
+    VectorClock durableApplied;
+    /** Out-of-order persist completions per origin (seq numbers). */
+    std::vector<std::set<std::uint64_t>> pendingDurable;
+    /**
+     * Buffered out-of-order causal UPDs, one FIFO per origin: the
+     * per-queue-pair in-order delivery guarantees per-origin sequence
+     * order, so only queue heads ever need a dependency check.
+     */
+    std::vector<std::deque<net::Message>> causalBuffer;
+    std::size_t causalBuffered = 0;
+    std::uint64_t causalPeak = 0;
+
+    std::vector<net::Message> lazyQueue;
+    bool lazyFlushScheduled = false;
+
+    std::unique_ptr<RecoveryAgent> recovery;
+    std::uint64_t nextOpId = 1;
+    std::uint32_t currentEpoch = 0;
+    std::uint32_t followers;
+    ReplicaMap rmap;
+};
+
+} // namespace ddp::core
+
+#endif // DDP_CORE_PROTOCOL_NODE_HH

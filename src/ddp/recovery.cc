@@ -1,0 +1,205 @@
+#include "ddp/recovery.hh"
+
+#include <cassert>
+
+namespace ddp::core {
+
+using net::KeyId;
+using net::Message;
+using net::MsgType;
+using net::NodeId;
+using net::Version;
+
+RecoveryAgent::RecoveryAgent(NodeId self, std::uint32_t num_nodes,
+                             Hooks hooks)
+    : self(self), numNodes(num_nodes), hooks(std::move(hooks))
+{
+}
+
+void
+RecoveryAgent::startCoordinator(
+    std::uint64_t key_count, std::uint32_t batch,
+    std::function<void(const RecoveryReport &)> done)
+{
+    assert(batch > 0);
+    coordinator = CoordinatorState{};
+    coordinator.keyCount = key_count;
+    coordinator.batchSize = batch;
+    coordinator.done = std::move(done);
+    coordinator.report.startedAt = hooks.now();
+    batches.clear();
+    launchBatches();
+}
+
+void
+RecoveryAgent::launchBatches()
+{
+    while (coordinator.inFlight < kWindow &&
+           coordinator.nextStart < coordinator.keyCount) {
+        KeyId start = coordinator.nextStart;
+        auto length = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(coordinator.batchSize,
+                                    coordinator.keyCount - start));
+        coordinator.nextStart += length;
+        std::uint64_t id = coordinator.nextBatchId++;
+
+        Batch b;
+        b.start = start;
+        b.length = length;
+        b.best.assign(length, 0);
+        b.differ.assign(length, false);
+        // Seed with the coordinator's own durable versions.
+        for (std::uint32_t i = 0; i < length; ++i)
+            b.best[i] = pack(hooks.persistedVersion(start + i));
+        batches.emplace(id, std::move(b));
+        ++coordinator.inFlight;
+        ++coordinator.report.batches;
+
+        Message q;
+        q.type = MsgType::RecQuery;
+        q.src = self;
+        q.key = start;
+        q.scopeId = length; // range length rides in the scope field
+        q.opId = id;
+        hooks.broadcast(q);
+    }
+
+    if (coordinator.inFlight == 0 && coordinator.done) {
+        coordinator.report.finishedAt = hooks.now();
+        auto done = std::move(coordinator.done);
+        coordinator.done = nullptr;
+        done(coordinator.report);
+    }
+}
+
+void
+RecoveryAgent::onMessage(const Message &msg)
+{
+    switch (msg.type) {
+      case MsgType::RecQuery:
+        handleQuery(msg);
+        break;
+      case MsgType::RecSummary:
+        handleSummary(msg);
+        break;
+      case MsgType::RecInstall:
+        handleInstall(msg);
+        break;
+      case MsgType::RecAck:
+        handleAck(msg);
+        break;
+      default:
+        break;
+    }
+}
+
+void
+RecoveryAgent::handleQuery(const Message &msg)
+{
+    // Reply with the packed durable versions of the requested range.
+    Message reply;
+    reply.type = MsgType::RecSummary;
+    reply.src = self;
+    reply.key = msg.key;
+    reply.scopeId = msg.scopeId;
+    reply.opId = msg.opId;
+    reply.cauhist.reserve(msg.scopeId);
+    for (std::uint64_t i = 0; i < msg.scopeId; ++i)
+        reply.cauhist.push_back(pack(hooks.persistedVersion(msg.key + i)));
+    hooks.send(msg.src, std::move(reply));
+}
+
+void
+RecoveryAgent::handleSummary(const Message &msg)
+{
+    auto it = batches.find(msg.opId);
+    if (it == batches.end())
+        return;
+    Batch &b = it->second;
+    assert(msg.cauhist.size() == b.length);
+
+    for (std::uint32_t i = 0; i < b.length; ++i) {
+        std::uint64_t theirs = msg.cauhist[i];
+        if (theirs != b.best[i])
+            b.differ[i] = true;
+        if (unpack(b.best[i]) < unpack(theirs))
+            b.best[i] = theirs;
+    }
+    ++b.summaries;
+    if (b.summaries < numNodes - 1)
+        return;
+
+    // All replies in: count results and decide whether anyone needs an
+    // install round.
+    bool any_diff = false;
+    for (std::uint32_t i = 0; i < b.length; ++i) {
+        if (unpack(b.best[i]).number > 0)
+            ++coordinator.report.keysInstalled;
+        if (b.differ[i]) {
+            ++coordinator.report.divergentKeys;
+            any_diff = true;
+        }
+    }
+
+    if (!any_diff) {
+        finishBatch(msg.opId, b);
+        return;
+    }
+
+    // Install the winners locally and on every replica.
+    for (std::uint32_t i = 0; i < b.length; ++i) {
+        Version v = unpack(b.best[i]);
+        if (v.number > 0)
+            hooks.install(b.start + i, v);
+    }
+    b.installing = true;
+    Message inst;
+    inst.type = MsgType::RecInstall;
+    inst.src = self;
+    inst.key = b.start;
+    inst.scopeId = b.length;
+    inst.opId = msg.opId;
+    inst.hasData = true; // winners carry data lines, not just versions
+    inst.cauhist = b.best;
+    hooks.broadcast(inst);
+}
+
+void
+RecoveryAgent::handleInstall(const Message &msg)
+{
+    for (std::uint64_t i = 0; i < msg.scopeId; ++i) {
+        Version v = unpack(msg.cauhist[i]);
+        if (v.number > 0)
+            hooks.install(msg.key + i, v);
+    }
+    Message ack;
+    ack.type = MsgType::RecAck;
+    ack.src = self;
+    ack.key = msg.key;
+    ack.opId = msg.opId;
+    hooks.send(msg.src, std::move(ack));
+}
+
+void
+RecoveryAgent::handleAck(const Message &msg)
+{
+    auto it = batches.find(msg.opId);
+    if (it == batches.end())
+        return;
+    Batch &b = it->second;
+    ++b.acks;
+    if (b.acks >= numNodes - 1)
+        finishBatch(msg.opId, b);
+}
+
+void
+RecoveryAgent::finishBatch(std::uint64_t batch_id, Batch &b)
+{
+    (void)b;
+    batches.erase(batch_id);
+    assert(coordinator.inFlight > 0);
+    --coordinator.inFlight;
+    launchBatches();
+}
+
+} // namespace ddp::core

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Message-driven crash recovery (paper Sec. 9).
+ *
+ * "Irrespective of the DDP model, a recovery algorithm is invoked on a
+ * crash. The complexity of the recovery is higher in the weaker models
+ * ... weaker DDP models may need an advanced recovery algorithm, such
+ * as a voting-based one."
+ *
+ * RecoveryAgent implements that voting algorithm as an actual protocol
+ * over the simulated fabric, so recovery time emerges from network and
+ * processing timing instead of a closed-form estimate:
+ *
+ *   1. The recovery coordinator walks the key space in batches and
+ *      broadcasts REC_QUERY(range).
+ *   2. Every replica answers REC_SUMMARY with its packed persisted
+ *      versions for the range (8 B per key on the wire).
+ *   3. The coordinator takes the per-key maximum. If the replicas
+ *      disagree (the divergence weak models accumulate), it broadcasts
+ *      REC_INSTALL with the winners; replicas install and REC_ACK.
+ *   4. When every batch completes, the report is delivered and clients
+ *      may resume.
+ *
+ * Versions are packed as (number << 8 | writer) in the summary payload;
+ * node ids therefore must fit in 8 bits, which they comfortably do.
+ */
+
+#ifndef DDP_CORE_RECOVERY_HH
+#define DDP_CORE_RECOVERY_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/message.hh"
+#include "sim/ticks.hh"
+
+namespace ddp::core {
+
+/** Outcome of a simulated recovery run. */
+struct RecoveryReport
+{
+    std::uint64_t keysInstalled = 0;  ///< keys with a non-null winner
+    std::uint64_t divergentKeys = 0;  ///< keys whose replicas disagreed
+    std::uint64_t batches = 0;        ///< query rounds executed
+    sim::Tick startedAt = 0;
+    sim::Tick finishedAt = 0;
+
+    sim::Tick duration() const { return finishedAt - startedAt; }
+};
+
+/**
+ * Per-node recovery participant. One node runs the coordinator role
+ * (startCoordinator); every node answers queries and installs winners.
+ * The agent is wired to its owning ProtocolNode through callbacks so it
+ * stays independent of the protocol engine's internals.
+ */
+class RecoveryAgent
+{
+  public:
+    struct Hooks
+    {
+        /** Read the locally durable version of a key. */
+        std::function<net::Version(net::KeyId)> persistedVersion;
+        /** Install a recovered version (volatile + durable). */
+        std::function<void(net::KeyId, net::Version)> install;
+        /** Send a message through the node's fabric attachment. */
+        std::function<void(net::NodeId, net::Message)> send;
+        /** Broadcast to every other node. */
+        std::function<void(net::Message)> broadcast;
+        /** Current simulated time. */
+        std::function<sim::Tick()> now;
+    };
+
+    RecoveryAgent(net::NodeId self, std::uint32_t num_nodes,
+                  Hooks hooks);
+
+    /**
+     * Run the voting recovery over [0, key_count) in batches of
+     * @p batch keys, reporting to @p done when every batch finished.
+     * Call on exactly one node, after all nodes lost volatile state.
+     */
+    void startCoordinator(std::uint64_t key_count, std::uint32_t batch,
+                          std::function<void(const RecoveryReport &)>
+                              done);
+
+    /** Route REC_* traffic here from the protocol engine. */
+    void onMessage(const net::Message &msg);
+
+    /** True while a coordinated recovery is in flight. */
+    bool active() const { return coordinator.inFlight > 0; }
+
+    // --- Version packing (exposed for tests) ---------------------------------
+    static std::uint64_t
+    pack(net::Version v)
+    {
+        return (v.number << 8) | v.writer;
+    }
+    static net::Version
+    unpack(std::uint64_t raw)
+    {
+        return net::Version{raw >> 8,
+                            static_cast<net::NodeId>(raw & 0xff)};
+    }
+
+  private:
+    struct Batch
+    {
+        net::KeyId start = 0;
+        std::uint32_t length = 0;
+        std::uint32_t summaries = 0;
+        std::uint32_t acks = 0;
+        bool installing = false;
+        /** Per-key running maximum over the replies (packed). */
+        std::vector<std::uint64_t> best;
+        /** Whether any reply disagreed per key. */
+        std::vector<bool> differ;
+    };
+
+    struct CoordinatorState
+    {
+        std::uint64_t keyCount = 0;
+        std::uint32_t batchSize = 0;
+        net::KeyId nextStart = 0;
+        std::uint32_t inFlight = 0;
+        std::uint64_t nextBatchId = 1;
+        RecoveryReport report;
+        std::function<void(const RecoveryReport &)> done;
+    };
+
+    void launchBatches();
+    void handleQuery(const net::Message &msg);
+    void handleSummary(const net::Message &msg);
+    void handleInstall(const net::Message &msg);
+    void handleAck(const net::Message &msg);
+    void finishBatch(std::uint64_t batch_id, Batch &b);
+
+    net::NodeId self;
+    std::uint32_t numNodes;
+    Hooks hooks;
+    CoordinatorState coordinator;
+    std::unordered_map<std::uint64_t, Batch> batches;
+
+    /** Pipelined query window (batches in flight at once). */
+    static constexpr std::uint32_t kWindow = 4;
+};
+
+} // namespace ddp::core
+
+#endif // DDP_CORE_RECOVERY_HH

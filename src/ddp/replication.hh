@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Replica placement for partial replication.
+ *
+ * The paper assumes (like Hermes) that every key is replicated on all
+ * nodes, noting that "reducing the number of replica nodes does not
+ * change the protocols conceptually, but may affect performance".
+ * DDPSim supports that reduction as a first-class knob: keys map to a
+ * deterministic replica set of R out of N servers, computed
+ * identically everywhere (rendezvous-style: hashed start index,
+ * consecutive nodes).
+ *
+ * Scope of support: Linearizable, Read-Enforced, and Eventual
+ * consistency work with any R. Causal consistency's vector-clock
+ * cauhist encoding and Transactional consistency's coordinator-local
+ * commit assume every node observes every write, so they require full
+ * replication (enforced by the protocol engine).
+ */
+
+#ifndef DDP_CORE_REPLICATION_HH
+#define DDP_CORE_REPLICATION_HH
+
+#include <cassert>
+#include <cstdint>
+
+#include "net/message.hh"
+
+namespace ddp::core {
+
+/** Replica-set calculator for one cluster geometry. */
+class ReplicaMap
+{
+  public:
+    /**
+     * @param num_nodes cluster size N
+     * @param factor replicas per key R; 0 means "all nodes"
+     */
+    ReplicaMap(std::uint32_t num_nodes, std::uint32_t factor)
+        : nodes(num_nodes),
+          replicas(factor == 0 ? num_nodes : factor)
+    {
+        assert(nodes > 0);
+        assert(replicas >= 1 && replicas <= nodes);
+    }
+
+    std::uint32_t numNodes() const { return nodes; }
+    std::uint32_t factor() const { return replicas; }
+    bool full() const { return replicas == nodes; }
+
+    /** First replica of @p key. */
+    net::NodeId
+    home(net::KeyId key) const
+    {
+        std::uint64_t h = key * 0x9e3779b97f4a7c15ULL;
+        return static_cast<net::NodeId>((h >> 33) % nodes);
+    }
+
+    /** The i-th replica of @p key, i in [0, factor()). */
+    net::NodeId
+    replica(net::KeyId key, std::uint32_t i) const
+    {
+        assert(i < replicas);
+        return (home(key) + i) % nodes;
+    }
+
+    /** Is @p node a replica of @p key? */
+    bool
+    isReplica(net::KeyId key, net::NodeId node) const
+    {
+        if (full())
+            return true;
+        net::NodeId h = home(key);
+        std::uint32_t offset = (node + nodes - h) % nodes;
+        return offset < replicas;
+    }
+
+    /** Followers a coordinator of @p key waits for. */
+    std::uint32_t
+    followerCount(net::KeyId key) const
+    {
+        (void)key;
+        return replicas - 1;
+    }
+
+    /**
+     * Pick the replica that client @p client_id should use as its
+     * coordinator for @p key (spreads load over the replica set).
+     */
+    net::NodeId
+    coordinatorFor(net::KeyId key, std::uint32_t client_id) const
+    {
+        return replica(key, client_id % replicas);
+    }
+
+  private:
+    std::uint32_t nodes;
+    std::uint32_t replicas;
+};
+
+} // namespace ddp::core
+
+#endif // DDP_CORE_REPLICATION_HH

@@ -1,0 +1,66 @@
+#include "ddp/xact_table.hh"
+
+namespace ddp::core {
+
+void
+XactConflictTable::begin(std::uint64_t id)
+{
+    xacts.emplace(id, Sets{});
+}
+
+bool
+XactConflictTable::accessConflicts(std::uint64_t id, net::KeyId key,
+                                   bool is_write, sim::Tick now,
+                                   sim::Tick window)
+{
+    sim::Tick horizon = now > window ? now - window : 0;
+    auto recent = [horizon](const std::unordered_map<net::KeyId,
+                                                     sim::Tick> &set,
+                            net::KeyId k) {
+        auto e = set.find(k);
+        return e != set.end() && e->second >= horizon;
+    };
+
+    bool conflict = false;
+    for (const auto &[other_id, sets] : xacts) {
+        if (other_id == id)
+            continue;
+        // W/W and R/W on the same key conflict; R/R does not.
+        if (recent(sets.writes, key) ||
+            (is_write && recent(sets.reads, key))) {
+            conflict = true;
+            break;
+        }
+    }
+
+    // Record the access only when it proceeds; a stalled retry must
+    // not keep re-poisoning the window for everyone else.
+    if (!conflict) {
+        auto it = xacts.find(id);
+        if (it != xacts.end()) {
+            if (is_write)
+                it->second.writes[key] = now;
+            else
+                it->second.reads[key] = now;
+        }
+    }
+
+    if (conflict)
+        ++conflicts;
+    return conflict;
+}
+
+void
+XactConflictTable::end(std::uint64_t id)
+{
+    xacts.erase(id);
+}
+
+void
+XactConflictTable::clear()
+{
+    xacts.clear();
+    conflicts = 0;
+}
+
+} // namespace ddp::core

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Transaction conflict-detection table.
+ *
+ * The paper's Transactional consistency layers "additional software
+ * infrastructure that detects and handles transactional conflicts: at
+ * every read and write ... the address is compared to those of all the
+ * reads and writes in the currently-active transactions" (Sec. 5.4).
+ * DDPSim models that infrastructure as a cluster-wide table of active
+ * transactions' read/write sets. On a conflict the requesting (younger)
+ * transaction is squashed and the client retries — one of the two
+ * resolution flavors the paper mentions.
+ */
+
+#ifndef DDP_CORE_XACT_TABLE_HH
+#define DDP_CORE_XACT_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/message.hh"
+#include "sim/ticks.hh"
+
+namespace ddp::core {
+
+/** Cluster-wide registry of active transactions. */
+class XactConflictTable
+{
+  public:
+    /** Register transaction @p id as active. */
+    void begin(std::uint64_t id);
+
+    /**
+     * Record an access and test it against all other active
+     * transactions. Write/write, read/write, and write/read overlaps on
+     * the same key conflict, but only while the earlier access is still
+     * in protocol flight: an access older than @p window no longer
+     * collides (its INV round has drained).
+     *
+     * @return true if the access conflicts (the caller stalls or
+     *         squashes).
+     */
+    bool accessConflicts(std::uint64_t id, net::KeyId key, bool is_write,
+                         sim::Tick now, sim::Tick window);
+
+    /** Remove transaction @p id (committed or aborted). */
+    void end(std::uint64_t id);
+
+    std::size_t activeCount() const { return xacts.size(); }
+    std::uint64_t conflictCount() const { return conflicts; }
+
+    void clear();
+
+  private:
+    struct Sets
+    {
+        /** key -> time of the most recent access of that kind. */
+        std::unordered_map<net::KeyId, sim::Tick> reads;
+        std::unordered_map<net::KeyId, sim::Tick> writes;
+    };
+
+    std::unordered_map<std::uint64_t, Sets> xacts;
+    std::uint64_t conflicts = 0;
+};
+
+} // namespace ddp::core
+
+#endif // DDP_CORE_XACT_TABLE_HH

@@ -1,0 +1,139 @@
+#include "kv/blob_store.hh"
+
+#include <cassert>
+#include <cstring>
+
+namespace ddp::kv {
+
+namespace {
+constexpr std::size_t kSmallestClass = 64;
+} // namespace
+
+BlobStore::BlobStore(std::size_t max_value_bytes)
+{
+    for (std::size_t size = kSmallestClass;; size *= 2) {
+        classes.push_back(SlabClass{size, {}, {}});
+        if (size >= max_value_bytes)
+            break;
+    }
+}
+
+std::size_t
+BlobStore::classFor(std::size_t bytes) const
+{
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+        if (bytes <= classes[c].chunkSize)
+            return c;
+    }
+    return classes.size();
+}
+
+std::uint32_t
+BlobStore::store(std::size_t cls, std::string_view value)
+{
+    SlabClass &sc = classes[cls];
+    std::uint32_t idx;
+    if (!sc.freeList.empty()) {
+        idx = sc.freeList.back();
+        sc.freeList.pop_back();
+    } else {
+        idx = static_cast<std::uint32_t>(sc.chunks.size());
+        sc.chunks.emplace_back();
+        sc.chunks.back().bytes.resize(sc.chunkSize);
+        allocated += sc.chunkSize;
+    }
+    Chunk &ch = sc.chunks[idx];
+    std::memcpy(ch.bytes.data(), value.data(), value.size());
+    ch.length = static_cast<std::uint32_t>(value.size());
+    used += value.size();
+    return idx;
+}
+
+void
+BlobStore::release(Value loc)
+{
+    SlabClass &sc = classes[classOf(loc)];
+    Chunk &ch = sc.chunks[chunkOf(loc)];
+    used -= ch.length;
+    ch.length = 0;
+    sc.freeList.push_back(chunkOf(loc));
+}
+
+bool
+BlobStore::put(KeyId key, std::string_view value)
+{
+    std::size_t cls = classFor(value.size());
+    if (cls == classes.size())
+        return false; // larger than the biggest slab class
+
+    Value old;
+    if (index.get(key, old)) {
+        if (classOf(old) == cls) {
+            // Reuse the chunk in place.
+            Chunk &ch = classes[cls].chunks[chunkOf(old)];
+            used -= ch.length;
+            std::memcpy(ch.bytes.data(), value.data(), value.size());
+            ch.length = static_cast<std::uint32_t>(value.size());
+            used += value.size();
+            return true;
+        }
+        release(old);
+        --live;
+        index.erase(key);
+    }
+
+    index.put(key, encode(cls, store(cls, value)));
+    ++live;
+    return true;
+}
+
+bool
+BlobStore::get(KeyId key, std::string &out) const
+{
+    Value loc;
+    // The robin-hood index mutates probe stats on get; cast away const
+    // as the logical state is unchanged.
+    auto &idx = const_cast<RobinHoodHashTable &>(index);
+    if (!idx.get(key, loc))
+        return false;
+    const Chunk &ch = classes[classOf(loc)].chunks[chunkOf(loc)];
+    out.assign(ch.bytes.data(), ch.length);
+    return true;
+}
+
+bool
+BlobStore::erase(KeyId key)
+{
+    Value loc;
+    if (!index.get(key, loc))
+        return false;
+    release(loc);
+    index.erase(key);
+    --live;
+    return true;
+}
+
+bool
+BlobStore::append(KeyId key, std::string_view suffix)
+{
+    std::string current;
+    if (!get(key, current))
+        return false;
+    current.append(suffix);
+    return put(key, current);
+}
+
+void
+BlobStore::clear()
+{
+    for (auto &sc : classes) {
+        sc.chunks.clear();
+        sc.freeList.clear();
+    }
+    index.clear();
+    live = 0;
+    allocated = 0;
+    used = 0;
+}
+
+} // namespace ddp::kv

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Byte-string value store (memcached-style item storage).
+ *
+ * The numeric Store interface is what the simulator needs, but an
+ * embeddable key-value library also has to hold real payloads. The
+ * BlobStore layers arbitrary byte values over the robin-hood index
+ * with slab-class allocation: values are stored in per-size-class
+ * slabs (64 B, 128 B, ... doubling), each slab class recycling freed
+ * chunks through a free list — the essence of memcached's memory
+ * management, minus the page juggling.
+ */
+
+#ifndef DDP_KV_BLOB_STORE_HH
+#define DDP_KV_BLOB_STORE_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kv/hash_table.hh"
+#include "kv/store.hh"
+
+namespace ddp::kv {
+
+/** Key → byte-string store with slab-class value allocation. */
+class BlobStore
+{
+  public:
+    /**
+     * @param max_value_bytes largest storable value; values are placed
+     *        in the smallest power-of-two slab class ≥ their size.
+     */
+    explicit BlobStore(std::size_t max_value_bytes = 64 << 10);
+
+    /** Insert or overwrite @p key. @return false if the value is too
+     *  large for the configured classes. */
+    bool put(KeyId key, std::string_view value);
+
+    /** Look up @p key; fills @p out on hit. */
+    bool get(KeyId key, std::string &out) const;
+
+    /** Remove @p key. @return true if it was present. */
+    bool erase(KeyId key);
+
+    /** Append @p suffix to an existing value (memcached APPEND).
+     *  @return false if the key is absent or the result too large. */
+    bool append(KeyId key, std::string_view suffix);
+
+    std::size_t size() const { return live; }
+
+    /** Bytes currently allocated across all slab classes. */
+    std::size_t allocatedBytes() const { return allocated; }
+
+    /** Bytes of live values (allocated minus class-rounding waste). */
+    std::size_t valueBytes() const { return used; }
+
+    /** Number of slab classes in use. */
+    std::size_t slabClasses() const { return classes.size(); }
+
+    void clear();
+
+  private:
+    struct Chunk
+    {
+        std::vector<char> bytes; ///< capacity = class size
+        std::uint32_t length = 0;
+    };
+
+    struct SlabClass
+    {
+        std::size_t chunkSize = 0;
+        std::vector<Chunk> chunks;
+        std::vector<std::uint32_t> freeList;
+    };
+
+    /** Class index for a value of @p bytes; classes.size() if too big. */
+    std::size_t classFor(std::size_t bytes) const;
+
+    /** Encode (class, chunk index) into one index value. */
+    static Value
+    encode(std::size_t cls, std::uint32_t chunk)
+    {
+        return (static_cast<Value>(cls) << 32) | chunk;
+    }
+    static std::size_t classOf(Value v) { return v >> 32; }
+    static std::uint32_t
+    chunkOf(Value v)
+    {
+        return static_cast<std::uint32_t>(v & 0xffffffff);
+    }
+
+    /** Allocate a chunk in @p cls and copy @p value in. */
+    std::uint32_t store(std::size_t cls, std::string_view value);
+    void release(Value loc);
+
+    std::vector<SlabClass> classes;
+    RobinHoodHashTable index; ///< key -> encoded (class, chunk)
+    std::size_t live = 0;
+    std::size_t allocated = 0;
+    std::size_t used = 0;
+};
+
+} // namespace ddp::kv
+
+#endif // DDP_KV_BLOB_STORE_HH

@@ -1,0 +1,402 @@
+#include "kv/bplus_tree.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ddp::kv {
+
+BPlusTree::BPlusTree()
+{
+    root = new Node{};
+}
+
+BPlusTree::~BPlusTree()
+{
+    destroy(root);
+}
+
+void
+BPlusTree::destroy(Node *n)
+{
+    if (!n)
+        return;
+    for (Node *c : n->children)
+        destroy(c);
+    delete n;
+}
+
+BPlusTree::Node *
+BPlusTree::findLeaf(KeyId key, std::vector<Node *> *path,
+                    std::vector<int> *slots)
+{
+    Node *n = root;
+    if (path)
+        path->push_back(n);
+    while (!n->leaf) {
+        ++probes;
+        // First separator strictly greater than key selects the child.
+        auto it = std::upper_bound(n->keys.begin(), n->keys.end(), key);
+        int idx = static_cast<int>(it - n->keys.begin());
+        n = n->children[static_cast<std::size_t>(idx)];
+        if (slots)
+            slots->push_back(idx);
+        if (path)
+            path->push_back(n);
+    }
+    ++probes;
+    return n;
+}
+
+bool
+BPlusTree::get(KeyId key, Value &out)
+{
+    probes = 0;
+    Node *leaf = findLeaf(key);
+    auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+    if (it != leaf->keys.end() && *it == key) {
+        out = leaf->values[static_cast<std::size_t>(
+            it - leaf->keys.begin())];
+        return true;
+    }
+    return false;
+}
+
+void
+BPlusTree::put(KeyId key, Value value)
+{
+    probes = 0;
+    std::vector<Node *> path;
+    std::vector<int> slots;
+    Node *leaf = findLeaf(key, &path, &slots);
+
+    auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+    auto pos = static_cast<std::size_t>(it - leaf->keys.begin());
+    if (it != leaf->keys.end() && *it == key) {
+        leaf->values[pos] = value;
+        return;
+    }
+
+    leaf->keys.insert(leaf->keys.begin() + static_cast<long>(pos), key);
+    leaf->values.insert(leaf->values.begin() + static_cast<long>(pos),
+                        value);
+    ++count;
+
+    if (static_cast<int>(leaf->keys.size()) <= kLeafCap)
+        return;
+
+    // Split the leaf: upper half to a new right sibling.
+    auto *right = new Node{};
+    std::size_t mid = leaf->keys.size() / 2;
+    right->keys.assign(leaf->keys.begin() + static_cast<long>(mid),
+                       leaf->keys.end());
+    right->values.assign(leaf->values.begin() + static_cast<long>(mid),
+                         leaf->values.end());
+    leaf->keys.resize(mid);
+    leaf->values.resize(mid);
+    right->next = leaf->next;
+    leaf->next = right;
+
+    insertIntoParent(path, slots, path.size() - 1, right->keys.front(),
+                     right);
+}
+
+void
+BPlusTree::insertIntoParent(std::vector<Node *> &path,
+                            std::vector<int> &slots, std::size_t level,
+                            KeyId sep, Node *right)
+{
+    if (level == 0) {
+        auto *new_root = new Node{};
+        new_root->leaf = false;
+        new_root->keys.push_back(sep);
+        new_root->children.push_back(path[0]);
+        new_root->children.push_back(right);
+        root = new_root;
+        return;
+    }
+
+    Node *parent = path[level - 1];
+    int idx = slots[level - 1];
+    parent->keys.insert(parent->keys.begin() + idx, sep);
+    parent->children.insert(parent->children.begin() + idx + 1, right);
+
+    if (static_cast<int>(parent->children.size()) <= kFanout)
+        return;
+
+    // Split the internal node; the middle separator moves up.
+    auto *right_int = new Node{};
+    right_int->leaf = false;
+    std::size_t mid = parent->keys.size() / 2;
+    KeyId sep_up = parent->keys[mid];
+
+    right_int->keys.assign(parent->keys.begin() + static_cast<long>(mid) +
+                               1,
+                           parent->keys.end());
+    right_int->children.assign(
+        parent->children.begin() + static_cast<long>(mid) + 1,
+        parent->children.end());
+    parent->keys.resize(mid);
+    parent->children.resize(mid + 1);
+
+    insertIntoParent(path, slots, level - 1, sep_up, right_int);
+}
+
+bool
+BPlusTree::erase(KeyId key)
+{
+    probes = 0;
+    std::vector<Node *> path;
+    std::vector<int> slots;
+    Node *leaf = findLeaf(key, &path, &slots);
+
+    auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+    if (it == leaf->keys.end() || *it != key)
+        return false;
+    auto pos = static_cast<std::size_t>(it - leaf->keys.begin());
+    leaf->keys.erase(leaf->keys.begin() + static_cast<long>(pos));
+    leaf->values.erase(leaf->values.begin() + static_cast<long>(pos));
+    --count;
+
+    if (leaf != root &&
+        static_cast<int>(leaf->keys.size()) < kMinLeaf) {
+        rebalanceAfterErase(path, slots, path.size() - 1);
+    }
+    return true;
+}
+
+void
+BPlusTree::rebalanceAfterErase(std::vector<Node *> &path,
+                               std::vector<int> &slots, std::size_t level)
+{
+    Node *node = path[level];
+    if (node == root) {
+        // Shrink the root when it has a single child.
+        if (!root->leaf && root->children.size() == 1) {
+            Node *old = root;
+            root = root->children[0];
+            old->children.clear();
+            delete old;
+        }
+        return;
+    }
+
+    Node *parent = path[level - 1];
+    std::size_t idx = static_cast<std::size_t>(slots[level - 1]);
+    Node *left = idx > 0 ? parent->children[idx - 1] : nullptr;
+    Node *right = idx + 1 < parent->children.size()
+                      ? parent->children[idx + 1]
+                      : nullptr;
+
+    if (node->leaf) {
+        if (left && static_cast<int>(left->keys.size()) > kMinLeaf) {
+            node->keys.insert(node->keys.begin(), left->keys.back());
+            node->values.insert(node->values.begin(),
+                                left->values.back());
+            left->keys.pop_back();
+            left->values.pop_back();
+            parent->keys[idx - 1] = node->keys.front();
+            return;
+        }
+        if (right && static_cast<int>(right->keys.size()) > kMinLeaf) {
+            node->keys.push_back(right->keys.front());
+            node->values.push_back(right->values.front());
+            right->keys.erase(right->keys.begin());
+            right->values.erase(right->values.begin());
+            parent->keys[idx] = right->keys.front();
+            return;
+        }
+        // Merge with a sibling.
+        if (left) {
+            left->keys.insert(left->keys.end(), node->keys.begin(),
+                              node->keys.end());
+            left->values.insert(left->values.end(), node->values.begin(),
+                                node->values.end());
+            left->next = node->next;
+            delete node;
+            parent->keys.erase(parent->keys.begin() +
+                               static_cast<long>(idx) - 1);
+            parent->children.erase(parent->children.begin() +
+                                   static_cast<long>(idx));
+        } else {
+            assert(right);
+            node->keys.insert(node->keys.end(), right->keys.begin(),
+                              right->keys.end());
+            node->values.insert(node->values.end(), right->values.begin(),
+                                right->values.end());
+            node->next = right->next;
+            delete right;
+            parent->keys.erase(parent->keys.begin() +
+                               static_cast<long>(idx));
+            parent->children.erase(parent->children.begin() +
+                                   static_cast<long>(idx) + 1);
+        }
+    } else {
+        if (left &&
+            static_cast<int>(left->children.size()) > kMinChildren) {
+            node->keys.insert(node->keys.begin(), parent->keys[idx - 1]);
+            parent->keys[idx - 1] = left->keys.back();
+            left->keys.pop_back();
+            node->children.insert(node->children.begin(),
+                                  left->children.back());
+            left->children.pop_back();
+            return;
+        }
+        if (right &&
+            static_cast<int>(right->children.size()) > kMinChildren) {
+            node->keys.push_back(parent->keys[idx]);
+            parent->keys[idx] = right->keys.front();
+            right->keys.erase(right->keys.begin());
+            node->children.push_back(right->children.front());
+            right->children.erase(right->children.begin());
+            return;
+        }
+        if (left) {
+            left->keys.push_back(parent->keys[idx - 1]);
+            left->keys.insert(left->keys.end(), node->keys.begin(),
+                              node->keys.end());
+            left->children.insert(left->children.end(),
+                                  node->children.begin(),
+                                  node->children.end());
+            node->children.clear();
+            delete node;
+            parent->keys.erase(parent->keys.begin() +
+                               static_cast<long>(idx) - 1);
+            parent->children.erase(parent->children.begin() +
+                                   static_cast<long>(idx));
+        } else {
+            assert(right);
+            node->keys.push_back(parent->keys[idx]);
+            node->keys.insert(node->keys.end(), right->keys.begin(),
+                              right->keys.end());
+            node->children.insert(node->children.end(),
+                                  right->children.begin(),
+                                  right->children.end());
+            right->children.clear();
+            delete right;
+            parent->keys.erase(parent->keys.begin() +
+                               static_cast<long>(idx));
+            parent->children.erase(parent->children.begin() +
+                                   static_cast<long>(idx) + 1);
+        }
+    }
+
+    // Parent may now underflow.
+    if (parent == root) {
+        if (!root->leaf && root->children.size() == 1) {
+            Node *old = root;
+            root = root->children[0];
+            old->children.clear();
+            delete old;
+        }
+        return;
+    }
+    if (static_cast<int>(parent->children.size()) < kMinChildren)
+        rebalanceAfterErase(path, slots, level - 1);
+}
+
+std::size_t
+BPlusTree::rangeScan(KeyId lo, KeyId hi,
+                     const std::function<void(KeyId, Value)> &visit)
+{
+    probes = 0;
+    Node *leaf = findLeaf(lo);
+    std::size_t visited = 0;
+    while (leaf) {
+        for (std::size_t i = 0; i < leaf->keys.size(); ++i) {
+            if (leaf->keys[i] < lo)
+                continue;
+            if (leaf->keys[i] > hi)
+                return visited;
+            visit(leaf->keys[i], leaf->values[i]);
+            ++visited;
+        }
+        ++probes;
+        leaf = leaf->next;
+    }
+    return visited;
+}
+
+void
+BPlusTree::clear()
+{
+    destroy(root);
+    root = new Node{};
+    count = 0;
+    probes = 0;
+}
+
+int
+BPlusTree::height() const
+{
+    int h = 1;
+    const Node *n = root;
+    while (!n->leaf) {
+        n = n->children.front();
+        ++h;
+    }
+    return h;
+}
+
+bool
+BPlusTree::validate() const
+{
+    int leaf_depth = -1;
+    if (!validateNode(root, true, 0, leaf_depth))
+        return false;
+
+    // Leaf chain must enumerate exactly the live keys in sorted order.
+    const Node *n = root;
+    while (!n->leaf)
+        n = n->children.front();
+    std::size_t seen = 0;
+    KeyId prev = 0;
+    bool first = true;
+    for (const Node *leaf = n; leaf; leaf = leaf->next) {
+        for (KeyId k : leaf->keys) {
+            if (!first && k <= prev)
+                return false;
+            prev = k;
+            first = false;
+            ++seen;
+        }
+    }
+    return seen == count;
+}
+
+bool
+BPlusTree::validateNode(const Node *n, bool is_root, int depth,
+                        int &leaf_depth) const
+{
+    if (n->leaf) {
+        if (!is_root && static_cast<int>(n->keys.size()) < kMinLeaf)
+            return false;
+        if (static_cast<int>(n->keys.size()) > kLeafCap)
+            return false;
+        if (n->keys.size() != n->values.size())
+            return false;
+        if (leaf_depth == -1)
+            leaf_depth = depth;
+        return leaf_depth == depth;
+    }
+
+    if (n->children.size() != n->keys.size() + 1)
+        return false;
+    if (static_cast<int>(n->children.size()) > kFanout)
+        return false;
+    if (!is_root &&
+        static_cast<int>(n->children.size()) < kMinChildren)
+        return false;
+    if (is_root && n->children.size() < 2)
+        return false;
+    for (std::size_t i = 1; i < n->keys.size(); ++i) {
+        if (n->keys[i - 1] >= n->keys[i])
+            return false;
+    }
+    for (const Node *c : n->children) {
+        if (!validateNode(c, false, depth + 1, leaf_depth))
+            return false;
+    }
+    return true;
+}
+
+} // namespace ddp::kv

@@ -1,0 +1,367 @@
+#include "kv/btree.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ddp::kv {
+
+BTree::BTree()
+{
+    root = new Node{};
+}
+
+BTree::~BTree()
+{
+    destroy(root);
+}
+
+void
+BTree::destroy(Node *n)
+{
+    if (!n)
+        return;
+    for (Node *c : n->children)
+        destroy(c);
+    delete n;
+}
+
+bool
+BTree::get(KeyId key, Value &out)
+{
+    probes = 0;
+    return searchNode(root, key, out);
+}
+
+bool
+BTree::searchNode(Node *n, KeyId key, Value &out)
+{
+    ++probes;
+    auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
+    std::size_t i = static_cast<std::size_t>(it - n->keys.begin());
+    if (it != n->keys.end() && *it == key) {
+        out = n->values[i];
+        return true;
+    }
+    if (n->leaf)
+        return false;
+    return searchNode(n->children[i], key, out);
+}
+
+void
+BTree::splitChild(Node *parent, int index)
+{
+    Node *child = parent->children[static_cast<std::size_t>(index)];
+    auto *right = new Node{};
+    right->leaf = child->leaf;
+
+    // Median moves up; right sibling takes the upper half.
+    KeyId mid_key = child->keys[kMinDegree - 1];
+    Value mid_val = child->values[kMinDegree - 1];
+
+    right->keys.assign(child->keys.begin() + kMinDegree,
+                       child->keys.end());
+    right->values.assign(child->values.begin() + kMinDegree,
+                         child->values.end());
+    child->keys.resize(kMinDegree - 1);
+    child->values.resize(kMinDegree - 1);
+
+    if (!child->leaf) {
+        right->children.assign(child->children.begin() + kMinDegree,
+                               child->children.end());
+        child->children.resize(kMinDegree);
+    }
+
+    parent->keys.insert(parent->keys.begin() + index, mid_key);
+    parent->values.insert(parent->values.begin() + index, mid_val);
+    parent->children.insert(parent->children.begin() + index + 1, right);
+}
+
+void
+BTree::put(KeyId key, Value value)
+{
+    probes = 0;
+    if (static_cast<int>(root->keys.size()) == kMaxKeys) {
+        auto *new_root = new Node{};
+        new_root->leaf = false;
+        new_root->children.push_back(root);
+        root = new_root;
+        splitChild(root, 0);
+    }
+    bool inserted = false;
+    insertNonFull(root, key, value, inserted);
+    if (inserted)
+        ++count;
+}
+
+void
+BTree::insertNonFull(Node *n, KeyId key, Value value, bool &inserted)
+{
+    ++probes;
+    auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
+    std::size_t i = static_cast<std::size_t>(it - n->keys.begin());
+
+    if (it != n->keys.end() && *it == key) {
+        n->values[i] = value;
+        inserted = false;
+        return;
+    }
+
+    if (n->leaf) {
+        n->keys.insert(n->keys.begin() + static_cast<long>(i), key);
+        n->values.insert(n->values.begin() + static_cast<long>(i), value);
+        inserted = true;
+        return;
+    }
+
+    if (static_cast<int>(n->children[i]->keys.size()) == kMaxKeys) {
+        splitChild(n, static_cast<int>(i));
+        if (key == n->keys[i]) {
+            n->values[i] = value;
+            inserted = false;
+            return;
+        }
+        if (key > n->keys[i])
+            ++i;
+    }
+    insertNonFull(n->children[i], key, value, inserted);
+}
+
+bool
+BTree::erase(KeyId key)
+{
+    probes = 0;
+    bool removed = eraseFrom(root, key);
+    if (removed)
+        --count;
+    if (!root->leaf && root->keys.empty()) {
+        Node *old = root;
+        root = root->children[0];
+        old->children.clear();
+        delete old;
+    }
+    return removed;
+}
+
+bool
+BTree::eraseFrom(Node *n, KeyId key)
+{
+    ++probes;
+    auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
+    std::size_t i = static_cast<std::size_t>(it - n->keys.begin());
+    bool found = it != n->keys.end() && *it == key;
+
+    if (found && n->leaf) {
+        n->keys.erase(n->keys.begin() + static_cast<long>(i));
+        n->values.erase(n->values.begin() + static_cast<long>(i));
+        return true;
+    }
+
+    if (found) {
+        // Internal node: replace with predecessor or successor, or merge.
+        Node *left = n->children[i];
+        Node *right = n->children[i + 1];
+        if (static_cast<int>(left->keys.size()) > kMinKeys) {
+            auto [pk, pv] = maxEntry(left);
+            n->keys[i] = pk;
+            n->values[i] = pv;
+            return eraseFrom(left, pk);
+        }
+        if (static_cast<int>(right->keys.size()) > kMinKeys) {
+            auto [sk, sv] = minEntry(right);
+            n->keys[i] = sk;
+            n->values[i] = sv;
+            return eraseFrom(right, sk);
+        }
+        mergeChildren(n, static_cast<int>(i));
+        return eraseFrom(n->children[i], key);
+    }
+
+    if (n->leaf)
+        return false;
+
+    // Ensure the child we descend into has at least kMinDegree keys.
+    // fillChild may borrow or merge, shifting separators and children;
+    // re-run the search in this node afterwards rather than patching
+    // the index (borrowing moves the target key between siblings and
+    // merging can pull it into this node).
+    if (static_cast<int>(n->children[i]->keys.size()) <= kMinKeys) {
+        fillChild(n, static_cast<int>(i));
+        return eraseFrom(n, key);
+    }
+    return eraseFrom(n->children[i], key);
+}
+
+void
+BTree::fillChild(Node *n, int index)
+{
+    std::size_t i = static_cast<std::size_t>(index);
+    if (i > 0 &&
+        static_cast<int>(n->children[i - 1]->keys.size()) > kMinKeys) {
+        borrowFromLeft(n, index);
+    } else if (i < n->children.size() - 1 &&
+               static_cast<int>(n->children[i + 1]->keys.size()) >
+                   kMinKeys) {
+        borrowFromRight(n, index);
+    } else if (i > 0) {
+        mergeChildren(n, index - 1);
+    } else {
+        mergeChildren(n, index);
+    }
+}
+
+void
+BTree::borrowFromLeft(Node *n, int index)
+{
+    std::size_t i = static_cast<std::size_t>(index);
+    Node *child = n->children[i];
+    Node *left = n->children[i - 1];
+
+    child->keys.insert(child->keys.begin(), n->keys[i - 1]);
+    child->values.insert(child->values.begin(), n->values[i - 1]);
+    n->keys[i - 1] = left->keys.back();
+    n->values[i - 1] = left->values.back();
+    left->keys.pop_back();
+    left->values.pop_back();
+
+    if (!child->leaf) {
+        child->children.insert(child->children.begin(),
+                               left->children.back());
+        left->children.pop_back();
+    }
+}
+
+void
+BTree::borrowFromRight(Node *n, int index)
+{
+    std::size_t i = static_cast<std::size_t>(index);
+    Node *child = n->children[i];
+    Node *right = n->children[i + 1];
+
+    child->keys.push_back(n->keys[i]);
+    child->values.push_back(n->values[i]);
+    n->keys[i] = right->keys.front();
+    n->values[i] = right->values.front();
+    right->keys.erase(right->keys.begin());
+    right->values.erase(right->values.begin());
+
+    if (!child->leaf) {
+        child->children.push_back(right->children.front());
+        right->children.erase(right->children.begin());
+    }
+}
+
+void
+BTree::mergeChildren(Node *n, int index)
+{
+    std::size_t i = static_cast<std::size_t>(index);
+    Node *left = n->children[i];
+    Node *right = n->children[i + 1];
+
+    left->keys.push_back(n->keys[i]);
+    left->values.push_back(n->values[i]);
+    left->keys.insert(left->keys.end(), right->keys.begin(),
+                      right->keys.end());
+    left->values.insert(left->values.end(), right->values.begin(),
+                        right->values.end());
+    if (!left->leaf) {
+        left->children.insert(left->children.end(),
+                              right->children.begin(),
+                              right->children.end());
+        right->children.clear();
+    }
+
+    n->keys.erase(n->keys.begin() + index);
+    n->values.erase(n->values.begin() + index);
+    n->children.erase(n->children.begin() + index + 1);
+    delete right;
+}
+
+std::pair<KeyId, Value>
+BTree::maxEntry(Node *n)
+{
+    while (!n->leaf)
+        n = n->children.back();
+    return {n->keys.back(), n->values.back()};
+}
+
+std::pair<KeyId, Value>
+BTree::minEntry(Node *n)
+{
+    while (!n->leaf)
+        n = n->children.front();
+    return {n->keys.front(), n->values.front()};
+}
+
+void
+BTree::clear()
+{
+    destroy(root);
+    root = new Node{};
+    count = 0;
+    probes = 0;
+}
+
+int
+BTree::height() const
+{
+    int h = 1;
+    const Node *n = root;
+    while (!n->leaf) {
+        n = n->children.front();
+        ++h;
+    }
+    return h;
+}
+
+bool
+BTree::validate() const
+{
+    int leaf_depth = -1;
+    return validateNode(root, true, 0, leaf_depth, 0, 0, false, false);
+}
+
+bool
+BTree::validateNode(const Node *n, bool is_root, int depth,
+                    int &leaf_depth, KeyId lo, KeyId hi, bool has_lo,
+                    bool has_hi) const
+{
+    int nkeys = static_cast<int>(n->keys.size());
+    if (nkeys > kMaxKeys)
+        return false;
+    if (!is_root && nkeys < kMinKeys)
+        return false;
+    if (n->keys.size() != n->values.size())
+        return false;
+
+    for (int i = 0; i < nkeys; ++i) {
+        if (i > 0 && n->keys[i - 1] >= n->keys[i])
+            return false;
+        if (has_lo && n->keys[i] <= lo)
+            return false;
+        if (has_hi && n->keys[i] >= hi)
+            return false;
+    }
+
+    if (n->leaf) {
+        if (!n->children.empty())
+            return false;
+        if (leaf_depth == -1)
+            leaf_depth = depth;
+        return leaf_depth == depth;
+    }
+
+    if (n->children.size() != n->keys.size() + 1)
+        return false;
+    for (std::size_t i = 0; i < n->children.size(); ++i) {
+        KeyId child_lo = i == 0 ? lo : n->keys[i - 1];
+        bool child_has_lo = i == 0 ? has_lo : true;
+        KeyId child_hi = i == n->keys.size() ? hi : n->keys[i];
+        bool child_has_hi = i == n->keys.size() ? has_hi : true;
+        if (!validateNode(n->children[i], false, depth + 1, leaf_depth,
+                          child_lo, child_hi, child_has_lo, child_has_hi))
+            return false;
+    }
+    return true;
+}
+
+} // namespace ddp::kv

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Classic B-tree store (CLRS-style, minimum degree t = 8).
+ *
+ * Keys and values live in internal nodes as well as leaves. Supports
+ * full insert / search / erase with the standard preemptive
+ * split-on-descent insertion and borrow-or-merge deletion, so the tree
+ * never violates its occupancy invariants between operations. The
+ * invariants are exposed via validate() for property tests.
+ */
+
+#ifndef DDP_KV_BTREE_HH
+#define DDP_KV_BTREE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "kv/store.hh"
+
+namespace ddp::kv {
+
+/** B-tree implementing Store. */
+class BTree : public Store
+{
+  public:
+    BTree();
+    ~BTree() override;
+
+    BTree(const BTree &) = delete;
+    BTree &operator=(const BTree &) = delete;
+
+    bool get(KeyId key, Value &out) override;
+    void put(KeyId key, Value value) override;
+    bool erase(KeyId key) override;
+    std::size_t size() const override { return count; }
+    void clear() override;
+    std::uint32_t lastProbes() const override { return probes; }
+    StoreKind kind() const override { return StoreKind::BTree; }
+
+    /**
+     * Check all B-tree invariants (key ordering, occupancy bounds,
+     * uniform leaf depth). @return true if the structure is valid.
+     */
+    bool validate() const;
+
+    /** Tree height (1 for a lone root leaf). */
+    int height() const;
+
+  private:
+    static constexpr int kMinDegree = 8; // t
+    static constexpr int kMaxKeys = 2 * kMinDegree - 1;
+    static constexpr int kMinKeys = kMinDegree - 1;
+
+    struct Node
+    {
+        bool leaf = true;
+        std::vector<KeyId> keys;
+        std::vector<Value> values;
+        std::vector<Node *> children;
+    };
+
+    static void destroy(Node *n);
+    Node *root;
+    std::size_t count = 0;
+    std::uint32_t probes = 0;
+
+    bool searchNode(Node *n, KeyId key, Value &out);
+    void splitChild(Node *parent, int index);
+    void insertNonFull(Node *n, KeyId key, Value value, bool &inserted);
+    bool eraseFrom(Node *n, KeyId key);
+    void fillChild(Node *n, int index);
+    void borrowFromLeft(Node *n, int index);
+    void borrowFromRight(Node *n, int index);
+    void mergeChildren(Node *n, int index);
+    static std::pair<KeyId, Value> maxEntry(Node *n);
+    static std::pair<KeyId, Value> minEntry(Node *n);
+
+    bool validateNode(const Node *n, bool is_root, int depth,
+                      int &leaf_depth, KeyId lo, KeyId hi,
+                      bool has_lo, bool has_hi) const;
+};
+
+} // namespace ddp::kv
+
+#endif // DDP_KV_BTREE_HH

@@ -1,0 +1,160 @@
+#include "kv/hash_table.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace ddp::kv {
+
+RobinHoodHashTable::RobinHoodHashTable(std::size_t initial_capacity)
+{
+    std::size_t cap = 16;
+    while (cap < initial_capacity)
+        cap <<= 1;
+    slots.resize(cap);
+}
+
+std::uint64_t
+RobinHoodHashTable::hashKey(KeyId key)
+{
+    // Fibonacci-style 64-bit mix.
+    std::uint64_t h = key + 0x9e3779b97f4a7c15ULL;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    return h ^ (h >> 31);
+}
+
+std::size_t
+RobinHoodHashTable::indexFor(std::uint64_t hash) const
+{
+    return static_cast<std::size_t>(hash) & (slots.size() - 1);
+}
+
+std::size_t
+RobinHoodHashTable::displacement(std::size_t slot) const
+{
+    std::size_t home = indexFor(hashKey(slots[slot].key));
+    return (slot + slots.size() - home) & (slots.size() - 1);
+}
+
+bool
+RobinHoodHashTable::get(KeyId key, Value &out)
+{
+    probes = 0;
+    std::size_t idx = indexFor(hashKey(key));
+    std::size_t dist = 0;
+    for (;;) {
+        ++probes;
+        const Slot &s = slots[idx];
+        if (!s.occupied)
+            return false;
+        if (s.key == key) {
+            out = s.value;
+            return true;
+        }
+        // Robin-hood invariant: if the resident is closer to home than
+        // our probe distance, the key cannot be further along.
+        if (displacement(idx) < dist)
+            return false;
+        idx = (idx + 1) & (slots.size() - 1);
+        ++dist;
+    }
+}
+
+void
+RobinHoodHashTable::put(KeyId key, Value value)
+{
+    if ((count + 1) * 10 >= slots.size() * 7)
+        grow();
+
+    probes = 0;
+    std::size_t idx = indexFor(hashKey(key));
+    std::size_t dist = 0;
+    KeyId cur_key = key;
+    Value cur_val = value;
+    bool inserting_original = true;
+
+    for (;;) {
+        ++probes;
+        Slot &s = slots[idx];
+        if (!s.occupied) {
+            s.key = cur_key;
+            s.value = cur_val;
+            s.occupied = true;
+            ++count;
+            return;
+        }
+        if (inserting_original && s.key == key) {
+            s.value = value;
+            return;
+        }
+        std::size_t resident = displacement(idx);
+        if (resident < dist) {
+            // Evict the richer resident and continue inserting it.
+            std::swap(s.key, cur_key);
+            std::swap(s.value, cur_val);
+            dist = resident;
+            inserting_original = false;
+        }
+        idx = (idx + 1) & (slots.size() - 1);
+        ++dist;
+    }
+}
+
+bool
+RobinHoodHashTable::erase(KeyId key)
+{
+    probes = 0;
+    std::size_t idx = indexFor(hashKey(key));
+    std::size_t dist = 0;
+    for (;;) {
+        ++probes;
+        Slot &s = slots[idx];
+        if (!s.occupied)
+            return false;
+        if (s.key == key)
+            break;
+        if (displacement(idx) < dist)
+            return false;
+        idx = (idx + 1) & (slots.size() - 1);
+        ++dist;
+    }
+
+    // Backward-shift deletion: pull successors one slot closer to home
+    // until we hit an empty slot or an at-home entry.
+    std::size_t hole = idx;
+    for (;;) {
+        std::size_t next = (hole + 1) & (slots.size() - 1);
+        if (!slots[next].occupied || displacement(next) == 0)
+            break;
+        slots[hole] = slots[next];
+        hole = next;
+    }
+    slots[hole].occupied = false;
+    --count;
+    return true;
+}
+
+void
+RobinHoodHashTable::clear()
+{
+    for (auto &s : slots)
+        s.occupied = false;
+    count = 0;
+    probes = 0;
+}
+
+void
+RobinHoodHashTable::grow()
+{
+    std::vector<Slot> old = std::move(slots);
+    slots.assign(old.size() * 2, Slot{});
+    count = 0;
+    std::uint32_t saved = probes;
+    for (const auto &s : old) {
+        if (s.occupied)
+            put(s.key, s.value);
+    }
+    probes = saved;
+}
+
+} // namespace ddp::kv

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Robin-hood open-addressing hash table store.
+ *
+ * Linear probing with robin-hood displacement (rich entries yield their
+ * slots to poorer ones), backward-shift deletion, and power-of-two
+ * growth at 70% load. Probe counts stay near-constant even at high
+ * load, which is why this is the fastest backend in the store
+ * comparison example.
+ */
+
+#ifndef DDP_KV_HASH_TABLE_HH
+#define DDP_KV_HASH_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "kv/store.hh"
+
+namespace ddp::kv {
+
+/** Robin-hood hash table implementing Store. */
+class RobinHoodHashTable : public Store
+{
+  public:
+    explicit RobinHoodHashTable(std::size_t initial_capacity = 64);
+
+    bool get(KeyId key, Value &out) override;
+    void put(KeyId key, Value value) override;
+    bool erase(KeyId key) override;
+    std::size_t size() const override { return count; }
+    void clear() override;
+    std::uint32_t lastProbes() const override { return probes; }
+    StoreKind kind() const override { return StoreKind::HashTable; }
+
+    /** Current slot count (for load-factor tests). */
+    std::size_t capacity() const { return slots.size(); }
+
+  private:
+    struct Slot
+    {
+        KeyId key = 0;
+        Value value = 0;
+        bool occupied = false;
+    };
+
+    static std::uint64_t hashKey(KeyId key);
+    std::size_t indexFor(std::uint64_t hash) const;
+    /** Distance of the entry in @p slot from its home position. */
+    std::size_t displacement(std::size_t slot) const;
+    void grow();
+
+    std::vector<Slot> slots;
+    std::size_t count = 0;
+    std::uint32_t probes = 0;
+};
+
+} // namespace ddp::kv
+
+#endif // DDP_KV_HASH_TABLE_HH

@@ -1,0 +1,145 @@
+#include "kv/skip_list.hh"
+
+#include <cassert>
+
+namespace ddp::kv {
+
+SkipListMap::SkipListMap(std::uint64_t seed) : rng(seed, 0x5eedbeef)
+{
+    head = makeNode(0, 0, kMaxLevels);
+}
+
+SkipListMap::~SkipListMap()
+{
+    Node *n = head;
+    while (n) {
+        Node *next = n->next[0];
+        delete n;
+        n = next;
+    }
+}
+
+SkipListMap::Node *
+SkipListMap::makeNode(KeyId key, Value value, int height)
+{
+    Node *n = new Node{key, value, height, {}};
+    n->next.fill(nullptr);
+    return n;
+}
+
+int
+SkipListMap::randomHeight()
+{
+    int h = 1;
+    // p = 1/4 per extra level.
+    while (h < kMaxLevels && (rng.nextU32() & 3) == 0)
+        ++h;
+    return h;
+}
+
+SkipListMap::Node *
+SkipListMap::findPredecessors(KeyId key,
+                              std::array<Node *, kMaxLevels> &update)
+{
+    probes = 0;
+    Node *n = head;
+    for (int lvl = levels - 1; lvl >= 0; --lvl) {
+        while (n->next[lvl] && n->next[lvl]->key < key) {
+            n = n->next[lvl];
+            ++probes;
+        }
+        update[lvl] = n;
+        ++probes;
+    }
+    return n->next[0];
+}
+
+bool
+SkipListMap::get(KeyId key, Value &out)
+{
+    std::array<Node *, kMaxLevels> update;
+    Node *candidate = findPredecessors(key, update);
+    if (candidate && candidate->key == key) {
+        out = candidate->value;
+        return true;
+    }
+    return false;
+}
+
+void
+SkipListMap::put(KeyId key, Value value)
+{
+    std::array<Node *, kMaxLevels> update;
+    Node *candidate = findPredecessors(key, update);
+    if (candidate && candidate->key == key) {
+        candidate->value = value;
+        return;
+    }
+
+    int h = randomHeight();
+    if (h > levels) {
+        for (int lvl = levels; lvl < h; ++lvl)
+            update[lvl] = head;
+        levels = h;
+    }
+
+    Node *n = makeNode(key, value, h);
+    for (int lvl = 0; lvl < h; ++lvl) {
+        n->next[lvl] = update[lvl]->next[lvl];
+        update[lvl]->next[lvl] = n;
+    }
+    ++count;
+}
+
+bool
+SkipListMap::erase(KeyId key)
+{
+    std::array<Node *, kMaxLevels> update;
+    Node *candidate = findPredecessors(key, update);
+    if (!candidate || candidate->key != key)
+        return false;
+
+    for (int lvl = 0; lvl < candidate->height; ++lvl) {
+        if (update[lvl]->next[lvl] == candidate)
+            update[lvl]->next[lvl] = candidate->next[lvl];
+    }
+    delete candidate;
+    --count;
+
+    while (levels > 1 && head->next[levels - 1] == nullptr)
+        --levels;
+    return true;
+}
+
+void
+SkipListMap::clear()
+{
+    Node *n = head->next[0];
+    while (n) {
+        Node *next = n->next[0];
+        delete n;
+        n = next;
+    }
+    head->next.fill(nullptr);
+    levels = 1;
+    count = 0;
+    probes = 0;
+}
+
+std::size_t
+SkipListMap::rangeScan(KeyId lo, KeyId hi,
+                       const std::function<void(KeyId, Value)> &visit)
+{
+    std::array<Node *, kMaxLevels> update;
+    Node *n = findPredecessors(lo, update);
+    std::size_t visited = 0;
+    while (n && n->key <= hi) {
+        visit(n->key, n->value);
+        ++visited;
+        ++probes;
+        n = n->next[0];
+    }
+    return visited;
+}
+
+} // namespace ddp::kv

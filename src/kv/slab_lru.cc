@@ -1,0 +1,197 @@
+#include "kv/slab_lru.hh"
+
+#include <cassert>
+
+namespace ddp::kv {
+
+SlabLruCache::SlabLruCache(std::size_t capacity_entries)
+    : slab(capacity_entries), index(capacity_entries * 2)
+{
+    assert(capacity_entries > 0);
+    freeList.reserve(capacity_entries);
+    for (std::size_t i = capacity_entries; i > 0; --i)
+        freeList.push_back(static_cast<std::uint32_t>(i - 1));
+}
+
+void
+SlabLruCache::unlink(std::uint32_t slot)
+{
+    Entry &e = slab[slot];
+    if (e.prev != kNil)
+        slab[e.prev].next = e.next;
+    else
+        mru = e.next;
+    if (e.next != kNil)
+        slab[e.next].prev = e.prev;
+    else
+        lru = e.prev;
+    e.prev = e.next = kNil;
+}
+
+void
+SlabLruCache::pushMru(std::uint32_t slot)
+{
+    Entry &e = slab[slot];
+    e.prev = kNil;
+    e.next = mru;
+    if (mru != kNil)
+        slab[mru].prev = slot;
+    mru = slot;
+    if (lru == kNil)
+        lru = slot;
+}
+
+void
+SlabLruCache::evictLru()
+{
+    assert(lru != kNil);
+    std::uint32_t victim = lru;
+    unlink(victim);
+    index.erase(slab[victim].key);
+    freeList.push_back(victim);
+    --live;
+    ++evicted;
+}
+
+bool
+SlabLruCache::get(KeyId key, Value &out)
+{
+    Value slot_v;
+    bool hit = index.get(key, slot_v);
+    probes = index.lastProbes();
+    if (!hit)
+        return false;
+    auto slot = static_cast<std::uint32_t>(slot_v);
+    out = slab[slot].value;
+    unlink(slot);
+    pushMru(slot);
+    return true;
+}
+
+void
+SlabLruCache::put(KeyId key, Value value)
+{
+    Value slot_v;
+    if (index.get(key, slot_v)) {
+        probes = index.lastProbes();
+        auto slot = static_cast<std::uint32_t>(slot_v);
+        slab[slot].value = value;
+        slab[slot].expiresAt = 0;
+        unlink(slot);
+        pushMru(slot);
+        return;
+    }
+
+    if (freeList.empty())
+        evictLru();
+
+    std::uint32_t slot = freeList.back();
+    freeList.pop_back();
+    slab[slot].key = key;
+    slab[slot].value = value;
+    slab[slot].expiresAt = 0;
+    pushMru(slot);
+    index.put(key, slot);
+    probes = index.lastProbes();
+    ++live;
+}
+
+bool
+SlabLruCache::erase(KeyId key)
+{
+    Value slot_v;
+    if (!index.get(key, slot_v)) {
+        probes = index.lastProbes();
+        return false;
+    }
+    auto slot = static_cast<std::uint32_t>(slot_v);
+    unlink(slot);
+    index.erase(key);
+    probes = index.lastProbes();
+    freeList.push_back(slot);
+    --live;
+    return true;
+}
+
+void
+SlabLruCache::clear()
+{
+    index.clear();
+    freeList.clear();
+    for (std::size_t i = slab.size(); i > 0; --i)
+        freeList.push_back(static_cast<std::uint32_t>(i - 1));
+    mru = lru = kNil;
+    live = 0;
+    probes = 0;
+}
+
+void
+SlabLruCache::reclaim(std::uint32_t slot)
+{
+    unlink(slot);
+    index.erase(slab[slot].key);
+    freeList.push_back(slot);
+    --live;
+}
+
+void
+SlabLruCache::putWithTtl(KeyId key, Value value, sim::Tick expires_at)
+{
+    put(key, value);
+    Value slot_v;
+    if (index.get(key, slot_v))
+        slab[static_cast<std::uint32_t>(slot_v)].expiresAt = expires_at;
+}
+
+bool
+SlabLruCache::get(KeyId key, Value &out, sim::Tick now)
+{
+    Value slot_v;
+    if (!index.get(key, slot_v)) {
+        ++missCount;
+        return false;
+    }
+    auto slot = static_cast<std::uint32_t>(slot_v);
+    Entry &e = slab[slot];
+    if (e.expiresAt != 0 && e.expiresAt <= now) {
+        // Lazy expiration: reclaim on access, count as a miss.
+        reclaim(slot);
+        ++expired;
+        ++missCount;
+        return false;
+    }
+    out = e.value;
+    unlink(slot);
+    pushMru(slot);
+    ++hitCount;
+    return true;
+}
+
+std::size_t
+SlabLruCache::expireSweep(sim::Tick now, std::size_t max_scan)
+{
+    std::size_t reclaimed = 0;
+    std::uint32_t slot = lru;
+    for (std::size_t scanned = 0; scanned < max_scan && slot != kNil;
+         ++scanned) {
+        std::uint32_t prev = slab[slot].prev;
+        if (slab[slot].expiresAt != 0 && slab[slot].expiresAt <= now) {
+            reclaim(slot);
+            ++expired;
+            ++reclaimed;
+        }
+        slot = prev;
+    }
+    return reclaimed;
+}
+
+bool
+SlabLruCache::lruKey(KeyId &out) const
+{
+    if (lru == kNil)
+        return false;
+    out = slab[lru].key;
+    return true;
+}
+
+} // namespace ddp::kv

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Memcached-like slab-allocated LRU cache store.
+ *
+ * Entries live in a pre-allocated slab; a free list recycles slots and
+ * an intrusive doubly-linked list maintains recency. When the slab is
+ * exhausted the least-recently-used entry is evicted, as memcached
+ * does within a slab class. The hash index is the library's own
+ * robin-hood table. Unlike the other backends this store is lossy:
+ * size() is bounded by its capacity and evictions() counts casualties.
+ */
+
+#ifndef DDP_KV_SLAB_LRU_HH
+#define DDP_KV_SLAB_LRU_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "kv/hash_table.hh"
+#include "kv/store.hh"
+#include "sim/ticks.hh"
+
+namespace ddp::kv {
+
+/** Slab LRU cache implementing Store. */
+class SlabLruCache : public Store
+{
+  public:
+    explicit SlabLruCache(std::size_t capacity_entries = 1 << 16);
+
+    bool get(KeyId key, Value &out) override;
+    void put(KeyId key, Value value) override;
+    bool erase(KeyId key) override;
+    std::size_t size() const override { return live; }
+    void clear() override;
+    std::uint32_t lastProbes() const override { return probes; }
+    StoreKind kind() const override { return StoreKind::SlabLru; }
+
+    std::size_t capacity() const { return slab.size(); }
+    std::uint64_t evictions() const { return evicted; }
+
+    /** Key of the current LRU entry; false if empty (for tests). */
+    bool lruKey(KeyId &out) const;
+
+    // --- memcached-style timed API ------------------------------------------
+    /**
+     * Insert @p key with an expiry deadline (simulated time). The
+     * plain Store::put() stores entries that never expire.
+     */
+    void putWithTtl(KeyId key, Value value, sim::Tick expires_at);
+
+    /**
+     * Timed lookup: an entry whose deadline passed counts as a miss
+     * and is reclaimed on the spot (lazy expiration, as memcached
+     * does).
+     */
+    bool get(KeyId key, Value &out, sim::Tick now);
+
+    /**
+     * Active expiration sweep: walk up to @p max_scan entries from the
+     * LRU end, reclaiming expired ones. @return entries reclaimed.
+     */
+    std::size_t expireSweep(sim::Tick now, std::size_t max_scan);
+
+    /** Timed-API lookup hits (get-with-now only). */
+    std::uint64_t hits() const { return hitCount; }
+    /** Timed-API lookup misses, including expirations. */
+    std::uint64_t misses() const { return missCount; }
+    /** Entries reclaimed because their TTL passed. */
+    std::uint64_t expirations() const { return expired; }
+
+    using Store::get; // keep the untimed overload visible
+
+  private:
+    static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+
+    struct Entry
+    {
+        KeyId key = 0;
+        Value value = 0;
+        /** Expiry deadline; 0 = never expires. */
+        sim::Tick expiresAt = 0;
+        std::uint32_t prev = kNil;
+        std::uint32_t next = kNil;
+    };
+
+    void unlink(std::uint32_t slot);
+    void pushMru(std::uint32_t slot);
+    void evictLru();
+    /** Remove @p slot entirely (index + list + free list). */
+    void reclaim(std::uint32_t slot);
+
+    std::vector<Entry> slab;
+    std::vector<std::uint32_t> freeList;
+    RobinHoodHashTable index; ///< key -> slot
+    std::uint32_t mru = kNil;
+    std::uint32_t lru = kNil;
+    std::size_t live = 0;
+    std::uint64_t evicted = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t hitCount = 0;
+    std::uint64_t missCount = 0;
+    std::uint32_t probes = 0;
+};
+
+} // namespace ddp::kv
+
+#endif // DDP_KV_SLAB_LRU_HH

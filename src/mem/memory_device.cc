@@ -1,0 +1,138 @@
+#include "mem/memory_device.hh"
+
+#include <cassert>
+
+namespace ddp::mem {
+
+MemoryParams
+MemoryParams::dram()
+{
+    MemoryParams p;
+    p.name = "dram";
+    p.channels = 4;
+    p.banksPerChannel = 8;
+    p.readLatency = 100 * sim::kNanosecond;
+    p.writeLatency = 100 * sim::kNanosecond;
+    p.lineTransfer = 4 * sim::kNanosecond;
+    p.capacityBytes = 16ULL << 30;
+    return p;
+}
+
+MemoryParams
+MemoryParams::nvm()
+{
+    MemoryParams p;
+    p.name = "nvm";
+    p.channels = 2;
+    p.banksPerChannel = 8;
+    p.readLatency = 140 * sim::kNanosecond;
+    p.writeLatency = 400 * sim::kNanosecond;
+    p.lineTransfer = 4 * sim::kNanosecond;
+    p.capacityBytes = 64ULL << 30;
+    return p;
+}
+
+MemoryDevice::MemoryDevice(const MemoryParams &params)
+    : cfg(params),
+      banks(static_cast<std::size_t>(params.channels) *
+            params.banksPerChannel),
+      channelBus(params.channels),
+      openRows(banks.size(), ~std::uint64_t{0})
+{
+    assert(cfg.channels > 0 && cfg.banksPerChannel > 0);
+}
+
+std::size_t
+MemoryDevice::channelIndex(std::uint64_t addr) const
+{
+    // Line-interleave (64 B lines) across channels.
+    return static_cast<std::size_t>((addr >> 6) % cfg.channels);
+}
+
+std::size_t
+MemoryDevice::bankIndex(std::uint64_t addr) const
+{
+    std::size_t ch = channelIndex(addr);
+    // Mix upper address bits so hot keys spread over banks.
+    std::uint64_t line = addr >> 6;
+    std::uint64_t h = line * 0x9e3779b97f4a7c15ULL;
+    std::size_t bank = static_cast<std::size_t>(
+        (h >> 32) % cfg.banksPerChannel);
+    return ch * cfg.banksPerChannel + bank;
+}
+
+sim::Tick
+MemoryDevice::access(sim::Tick at, std::uint64_t addr, sim::Tick latency)
+{
+    std::size_t bank = bankIndex(addr);
+
+    // Open-page policy: an access hitting the bank's open row skips
+    // the activate and pays only the column access.
+    if (cfg.openPage) {
+        std::uint64_t row = (addr >> 6) / cfg.linesPerRow;
+        if (openRows[bank] == row) {
+            latency = cfg.rowHitLatency;
+            ++rowHitCount;
+        } else {
+            openRows[bank] = row;
+        }
+    }
+
+    // Occupy the bank for the array access, then the channel bus for
+    // the line transfer.
+    sim::Tick bank_done = banks[bank].acquire(at, latency);
+    return channelBus[channelIndex(addr)].acquire(bank_done,
+                                                  cfg.lineTransfer);
+}
+
+sim::Tick
+MemoryDevice::read(sim::Tick at, std::uint64_t addr)
+{
+    ++reads;
+    return access(at, addr, cfg.readLatency);
+}
+
+sim::Tick
+MemoryDevice::write(sim::Tick at, std::uint64_t addr)
+{
+    ++writes;
+    return access(at, addr, cfg.writeLatency);
+}
+
+sim::Tick
+MemoryDevice::queueDelay(sim::Tick at, std::uint64_t addr) const
+{
+    return banks[bankIndex(addr)].queueDelay(at);
+}
+
+sim::Tick
+MemoryDevice::bankBusyTicks() const
+{
+    sim::Tick sum = 0;
+    for (const auto &b : banks)
+        sum += b.busyTicks();
+    return sum;
+}
+
+sim::Tick
+MemoryDevice::totalWaitTicks() const
+{
+    sim::Tick sum = 0;
+    for (const auto &b : banks)
+        sum += b.waitTicks();
+    for (const auto &c : channelBus)
+        sum += c.waitTicks();
+    return sum;
+}
+
+void
+MemoryDevice::reset()
+{
+    for (auto &b : banks)
+        b.reset();
+    for (auto &c : channelBus)
+        c.reset();
+    openRows.assign(banks.size(), ~std::uint64_t{0});
+}
+
+} // namespace ddp::mem

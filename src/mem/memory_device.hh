@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Channel/bank memory device timing model (DRAM and NVM).
+ *
+ * A DRAMSim2-inspired closed-bank model: an access occupies its bank for
+ * the device read/write latency and then the channel bus for the line
+ * transfer. Queueing behind busy banks and channels is what produces the
+ * "NVM pressure" effect the paper reports (Sec. 8.1.1): persistency
+ * models that allow many outstanding persists lengthen the NVM write
+ * queue, so later persist-dependent reads stall longer.
+ *
+ * NVM is modeled as DRAM with asymmetric read/write latencies and no
+ * refresh, exactly as the paper does ("we modified the DRAMSim2 timing
+ * parameters and disabled refreshes").
+ */
+
+#ifndef DDP_MEM_MEMORY_DEVICE_HH
+#define DDP_MEM_MEMORY_DEVICE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/resource.hh"
+#include "sim/ticks.hh"
+
+namespace ddp::mem {
+
+/** Timing and geometry parameters of a memory device. */
+struct MemoryParams
+{
+    std::string name = "mem";
+    std::uint32_t channels = 1;
+    std::uint32_t banksPerChannel = 8;
+    sim::Tick readLatency = 100 * sim::kNanosecond;
+    sim::Tick writeLatency = 100 * sim::kNanosecond;
+    /** Channel transfer time for one 64 B line. */
+    sim::Tick lineTransfer = 4 * sim::kNanosecond;
+    std::uint64_t capacityBytes = 16ULL << 30;
+
+    /**
+     * Open-page (row-buffer) policy: banks keep their last-activated
+     * row open; an access that hits the open row pays rowHitLatency
+     * instead of the full array latency. Closed-page (the default)
+     * matches the paper's fixed round-trip timings.
+     */
+    bool openPage = false;
+    sim::Tick rowHitLatency = 40 * sim::kNanosecond;
+    /** Lines per row (row size = 64 B x this). */
+    std::uint32_t linesPerRow = 128;
+
+    /** Paper Table 5 DRAM: 4 channels, 8 banks, 100 ns R/W RT. */
+    static MemoryParams dram();
+    /** Paper Table 5 NVM: 2 channels, 8 banks, 140 ns R / 400 ns W RT. */
+    static MemoryParams nvm();
+};
+
+/**
+ * A memory device instance. Accesses are pure timing computations; the
+ * caller schedules completions on the event queue.
+ */
+class MemoryDevice
+{
+  public:
+    explicit MemoryDevice(const MemoryParams &params);
+
+    /**
+     * Issue a read of one line at @p addr arriving at time @p at.
+     * @return completion time (data available).
+     */
+    sim::Tick read(sim::Tick at, std::uint64_t addr);
+
+    /**
+     * Issue a write (persist) of one line at @p addr arriving at @p at.
+     * @return completion time (write durable).
+     */
+    sim::Tick write(sim::Tick at, std::uint64_t addr);
+
+    /** Backlog a new request at @p addr would see at time @p at. */
+    sim::Tick queueDelay(sim::Tick at, std::uint64_t addr) const;
+
+    const MemoryParams &params() const { return cfg; }
+
+    std::uint64_t readCount() const { return reads; }
+    std::uint64_t writeCount() const { return writes; }
+    /** Row-buffer hits (open-page policy only). */
+    std::uint64_t rowHits() const { return rowHitCount; }
+
+    /** Aggregate bank busy ticks (utilization numerator). */
+    sim::Tick bankBusyTicks() const;
+
+    /** Aggregate queueing-delay ticks experienced by requests. */
+    sim::Tick totalWaitTicks() const;
+
+    /** Reset timing state between experiment phases. */
+    void reset();
+
+  private:
+    std::size_t bankIndex(std::uint64_t addr) const;
+    std::size_t channelIndex(std::uint64_t addr) const;
+
+    sim::Tick access(sim::Tick at, std::uint64_t addr, sim::Tick latency);
+
+    MemoryParams cfg;
+    std::vector<sim::FifoResource> banks;
+    std::vector<sim::FifoResource> channelBus;
+    /** Open row per bank (open-page policy only); ~0 = none. */
+    std::vector<std::uint64_t> openRows;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rowHitCount = 0;
+};
+
+} // namespace ddp::mem
+
+#endif // DDP_MEM_MEMORY_DEVICE_HH

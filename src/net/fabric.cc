@@ -1,0 +1,108 @@
+#include "net/fabric.hh"
+
+#include <cassert>
+
+namespace ddp::net {
+
+Nic::Nic(NodeId owner, const NetworkParams &params, std::size_t num_nodes)
+    : id(owner), cfg(params), lastDelivery(num_nodes, 0)
+{
+}
+
+sim::Tick
+Nic::transmit(sim::Tick at, const Message &msg)
+{
+    ++txCount;
+    std::uint32_t bytes = msg.sizeBytes();
+    txByteCount += bytes;
+    sim::Tick service = cfg.txOverhead + cfg.serializationTicks(bytes);
+    return txPipe.acquire(at, service);
+}
+
+sim::Tick
+Nic::orderDelivery(NodeId dst, sim::Tick arrival)
+{
+    assert(dst < lastDelivery.size());
+    sim::Tick t = arrival > lastDelivery[dst] ? arrival : lastDelivery[dst];
+    lastDelivery[dst] = t;
+    return t;
+}
+
+sim::Tick
+Nic::receive(sim::Tick at, const Message &msg)
+{
+    ++rxCount;
+    sim::Tick service =
+        cfg.rxOverhead + cfg.serializationTicks(msg.sizeBytes());
+    return rxPipe.acquire(at, service);
+}
+
+Fabric::Fabric(sim::EventQueue &eq, const NetworkParams &params,
+               std::size_t num_nodes)
+    : queue(eq), cfg(params), handlers(num_nodes)
+{
+    nics.reserve(num_nodes);
+    for (std::size_t n = 0; n < num_nodes; ++n)
+        nics.push_back(std::make_unique<Nic>(
+            static_cast<NodeId>(n), params, num_nodes));
+}
+
+void
+Fabric::attach(NodeId node, Handler handler)
+{
+    assert(node < handlers.size());
+    handlers[node] = std::move(handler);
+}
+
+void
+Fabric::send(const Message &msg)
+{
+    assert(msg.src < nics.size() && msg.dst < nics.size());
+    ++msgCount;
+    byteCount += msg.sizeBytes();
+
+    if (msg.src == msg.dst) {
+        // Local loopback: deliver without touching the fabric.
+        queue.scheduleIn(0, [this, msg] {
+            if (tracer)
+                tracer->record(queue.now(), msg);
+            handlers[msg.dst](msg);
+        });
+        return;
+    }
+
+    Nic &src = *nics[msg.src];
+    Nic &dst = *nics[msg.dst];
+
+    sim::Tick tx_done = src.transmit(queue.now(), msg);
+    sim::Tick arrival = tx_done + cfg.roundTrip / 2;
+    if (cfg.topology == Topology::TwoTier &&
+        cfg.rackOf(msg.src) != cfg.rackOf(msg.dst)) {
+        // Two extra switch traversals plus serialization on the shared
+        // (possibly oversubscribed) uplink.
+        arrival += 2 * cfg.interRackHop;
+        arrival = uplink.acquire(
+            arrival, cfg.uplinkSerializationTicks(msg.sizeBytes()));
+    }
+    sim::Tick ordered = src.orderDelivery(msg.dst, arrival);
+    sim::Tick rx_done = dst.receive(ordered, msg);
+
+    queue.schedule(rx_done, [this, msg] {
+        if (tracer)
+            tracer->record(queue.now(), msg);
+        handlers[msg.dst](msg);
+    });
+}
+
+void
+Fabric::broadcast(Message msg)
+{
+    for (NodeId n = 0; n < nics.size(); ++n) {
+        if (n == msg.src)
+            continue;
+        msg.dst = n;
+        send(msg);
+    }
+}
+
+} // namespace ddp::net

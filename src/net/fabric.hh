@@ -1,0 +1,191 @@
+/**
+ * @file
+ * RDMA-style NIC and full-mesh fabric models.
+ *
+ * Each server owns one Nic. A message spends: TX serialization (line
+ * rate, paper default 200 Gb/s), half the NIC-to-NIC round trip
+ * (default 1 us RTT), and RX processing. Messages between the same
+ * (src, dst) pair travel on the same reliable-connected queue pair and
+ * are delivered in order, matching RDMA RC semantics — the protocols
+ * rely on INV-before-VAL ordering per peer.
+ *
+ * The verb layer distinguishes two delivery classes, following the SNIA
+ * NVM-PM remote-access proposals the paper models:
+ *  - one-sided ops (RDMA WRITE / WRITE_PERSIST) bypass the remote CPU
+ *    and land in the LLC via DDIO;
+ *  - two-sided SENDs are charged remote CPU processing by the receiver.
+ */
+
+#ifndef DDP_NET_FABRIC_HH
+#define DDP_NET_FABRIC_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/message.hh"
+#include "net/tracer.hh"
+#include "sim/event_queue.hh"
+#include "sim/resource.hh"
+#include "sim/ticks.hh"
+
+namespace ddp::net {
+
+/** Fabric topology. */
+enum class Topology : std::uint8_t
+{
+    /** Every pair of NICs is one switch hop apart (the default). */
+    FullMesh,
+    /**
+     * Two racks of rackSize nodes each behind top-of-rack switches
+     * joined by one shared, possibly oversubscribed uplink: inter-rack
+     * messages pay two extra switch traversals and serialize on the
+     * uplink. Models the hybrid local/remote deployments of Sec. 9.
+     */
+    TwoTier,
+};
+
+/** NIC and fabric timing parameters (paper Table 5 defaults). */
+struct NetworkParams
+{
+    /** NIC line rate, bits per second. */
+    std::uint64_t bandwidthBps = 200ULL * 1000 * 1000 * 1000;
+    /** NIC-to-NIC round-trip latency. */
+    sim::Tick roundTrip = 1 * sim::kMicrosecond;
+
+    Topology topology = Topology::FullMesh;
+    /** Nodes per rack (TwoTier). */
+    std::uint32_t rackSize = 3;
+    /** Extra one-way latency per inter-rack traversal (TwoTier). */
+    sim::Tick interRackHop = 500 * sim::kNanosecond;
+    /** Shared uplink line rate between the racks (TwoTier). */
+    std::uint64_t uplinkBandwidthBps = 100ULL * 1000 * 1000 * 1000;
+    /** Queue pairs available per NIC. */
+    std::uint32_t queuePairs = 400;
+    /** Fixed per-message TX pipeline overhead (high-end NICs sustain
+     *  hundreds of Mpps across queue pairs). */
+    sim::Tick txOverhead = 10 * sim::kNanosecond;
+    /** Fixed per-message RX pipeline overhead. */
+    sim::Tick rxOverhead = 10 * sim::kNanosecond;
+
+    /** Serialization time for @p bytes at the line rate. */
+    sim::Tick
+    serializationTicks(std::uint32_t bytes) const
+    {
+        // bytes * 8 bits / (bps) seconds -> ticks.
+        return static_cast<sim::Tick>(
+            (static_cast<__uint128_t>(bytes) * 8 * sim::kSecond) /
+            bandwidthBps);
+    }
+
+    /** Serialization time on the inter-rack uplink. */
+    sim::Tick
+    uplinkSerializationTicks(std::uint32_t bytes) const
+    {
+        return static_cast<sim::Tick>(
+            (static_cast<__uint128_t>(bytes) * 8 * sim::kSecond) /
+            uplinkBandwidthBps);
+    }
+
+    /** Rack of @p node under the TwoTier topology. */
+    std::uint32_t
+    rackOf(NodeId node) const
+    {
+        return node / rackSize;
+    }
+};
+
+class Fabric;
+
+/**
+ * One server's NIC. Owns the TX serializer and the per-destination
+ * queue-pair ordering state.
+ */
+class Nic
+{
+  public:
+    Nic(NodeId owner, const NetworkParams &params, std::size_t num_nodes);
+
+    NodeId owner() const { return id; }
+
+    /**
+     * Compute the time the head of @p msg leaves this NIC if handed to
+     * the TX pipeline at @p at, updating TX occupancy.
+     */
+    sim::Tick transmit(sim::Tick at, const Message &msg);
+
+    /**
+     * Enforce per-(src,dst) in-order delivery: returns the delivery
+     * time, at least @p arrival and monotonic per destination.
+     */
+    sim::Tick orderDelivery(NodeId dst, sim::Tick arrival);
+
+    /** RX-side processing completion for a message arriving at @p at. */
+    sim::Tick receive(sim::Tick at, const Message &msg);
+
+    std::uint64_t txMessages() const { return txCount; }
+    std::uint64_t txBytes() const { return txByteCount; }
+    std::uint64_t rxMessages() const { return rxCount; }
+
+  private:
+    NodeId id;
+    NetworkParams cfg;
+    sim::FifoResource txPipe;
+    sim::FifoResource rxPipe;
+    /** Last delivery time per destination (per-QP ordering). */
+    std::vector<sim::Tick> lastDelivery;
+    std::uint64_t txCount = 0;
+    std::uint64_t txByteCount = 0;
+    std::uint64_t rxCount = 0;
+};
+
+/**
+ * Full-mesh fabric connecting N NICs. Delivery invokes the registered
+ * per-node handler through the shared event queue.
+ */
+class Fabric
+{
+  public:
+    using Handler = std::function<void(const Message &)>;
+
+    Fabric(sim::EventQueue &eq, const NetworkParams &params,
+           std::size_t num_nodes);
+
+    /** Register the message handler for @p node. */
+    void attach(NodeId node, Handler handler);
+
+    /**
+     * Send @p msg from its src to its dst. Self-sends are delivered
+     * immediately (no network traversal).
+     */
+    void send(const Message &msg);
+
+    /** Send @p msg to every node except @p msg.src (broadcast). */
+    void broadcast(Message msg);
+
+    const NetworkParams &params() const { return cfg; }
+    Nic &nic(NodeId node) { return *nics[node]; }
+    std::size_t numNodes() const { return nics.size(); }
+
+    /** Attach a message tracer (nullptr detaches). */
+    void setTracer(MessageTracer *t) { tracer = t; }
+
+    std::uint64_t totalMessages() const { return msgCount; }
+    std::uint64_t totalBytes() const { return byteCount; }
+
+  private:
+    sim::EventQueue &queue;
+    NetworkParams cfg;
+    std::vector<std::unique_ptr<Nic>> nics;
+    std::vector<Handler> handlers;
+    /** Shared inter-rack uplink (TwoTier topology). */
+    sim::FifoResource uplink;
+    MessageTracer *tracer = nullptr;
+    std::uint64_t msgCount = 0;
+    std::uint64_t byteCount = 0;
+};
+
+} // namespace ddp::net
+
+#endif // DDP_NET_FABRIC_HH

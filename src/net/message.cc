@@ -1,0 +1,40 @@
+#include "net/message.hh"
+
+namespace ddp::net {
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::Inv: return "INV";
+      case MsgType::Ack: return "ACK";
+      case MsgType::AckC: return "ACK_c";
+      case MsgType::AckP: return "ACK_p";
+      case MsgType::Val: return "VAL";
+      case MsgType::ValC: return "VAL_c";
+      case MsgType::ValP: return "VAL_p";
+      case MsgType::Upd: return "UPD";
+      case MsgType::InitX: return "INITX";
+      case MsgType::EndX: return "ENDX";
+      case MsgType::Persist: return "PERSIST";
+      case MsgType::RecQuery: return "REC_QUERY";
+      case MsgType::RecSummary: return "REC_SUMMARY";
+      case MsgType::RecInstall: return "REC_INSTALL";
+      case MsgType::RecAck: return "REC_ACK";
+    }
+    return "?";
+}
+
+std::uint32_t
+Message::sizeBytes() const
+{
+    // Header: type + src/dst + key + version + opId + scope + xact.
+    std::uint32_t size = 48;
+    if (hasData)
+        size += 64; // one cache line of value payload
+    // cauhist is a per-server vector clock entry list.
+    size += static_cast<std::uint32_t>(cauhist.size()) * 8;
+    return size;
+}
+
+} // namespace ddp::net

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Protocol message types (paper Table 3) and common identifiers.
+ *
+ * Every DDP protocol exchange is expressed with these messages:
+ *
+ *   INV (+data)      invalidate a key's replica and carry the new value
+ *   ACK              acknowledge an event (combined c+p)
+ *   ACK_c / ACK_p    acknowledge a consistency / persistency event
+ *   VAL              mark the termination of an event (combined)
+ *   VAL_c / VAL_p    mark termination of a consistency / persistency event
+ *   UPD (+cauhist)   carry an updated value plus its causal history
+ *   INITX / ENDX     transaction begin / end
+ *   PERSIST_s        end of scope s
+ *
+ * Under Scope persistency all messages additionally carry the scope id.
+ */
+
+#ifndef DDP_NET_MESSAGE_HH
+#define DDP_NET_MESSAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ddp::net {
+
+/** Server (replica node) identifier. */
+using NodeId = std::uint32_t;
+
+/** Key identifier; keys map to 64 B lines at addr = key * 64. */
+using KeyId = std::uint64_t;
+
+/** Sentinel for "no node". */
+constexpr NodeId kNoNode = ~NodeId{0};
+
+/**
+ * Hermes-style logical timestamp: (version, coordinator) compared
+ * lexicographically, so concurrent writes to a key resolve identically
+ * at every replica.
+ */
+struct Version
+{
+    std::uint64_t number = 0;
+    NodeId writer = 0;
+
+    friend bool
+    operator<(const Version &a, const Version &b)
+    {
+        if (a.number != b.number)
+            return a.number < b.number;
+        return a.writer < b.writer;
+    }
+    friend bool
+    operator==(const Version &a, const Version &b)
+    {
+        return a.number == b.number && a.writer == b.writer;
+    }
+    friend bool operator!=(const Version &a, const Version &b)
+    { return !(a == b); }
+    friend bool operator>(const Version &a, const Version &b)
+    { return b < a; }
+    friend bool operator<=(const Version &a, const Version &b)
+    { return !(b < a); }
+    friend bool operator>=(const Version &a, const Version &b)
+    { return !(a < b); }
+};
+
+/** Message kinds, one per row of paper Table 3. */
+enum class MsgType : std::uint8_t
+{
+    Inv,     ///< INV (+data)
+    Ack,     ///< ACK (combined consistency+persistency)
+    AckC,    ///< ACK_c
+    AckP,    ///< ACK_p
+    Val,     ///< VAL (combined)
+    ValC,    ///< VAL_c
+    ValP,    ///< VAL_p
+    Upd,     ///< UPD (+cauhist)
+    InitX,   ///< INITX
+    EndX,    ///< ENDX
+    Persist, ///< [PERSIST]s
+
+    // Recovery protocol (crash recovery, paper Sec. 9): batched
+    // version-summary voting followed by winner installation.
+    RecQuery,   ///< coordinator asks for a key range's versions
+    RecSummary, ///< replica's packed versions for the range
+    RecInstall, ///< winners the replicas must install
+    RecAck,     ///< installation finished
+};
+
+/** Human-readable message-type name (for traces and tests). */
+const char *msgTypeName(MsgType t);
+
+/** Vector-clock causal history: per-server applied-update counters. */
+using CausalHistory = std::vector<std::uint64_t>;
+
+/** One protocol message. */
+struct Message
+{
+    MsgType type = MsgType::Inv;
+    NodeId src = 0;
+    NodeId dst = 0;
+    KeyId key = 0;
+    Version version{};
+
+    /** Matches ACK/VAL traffic to the originating write operation. */
+    std::uint64_t opId = 0;
+
+    /** Scope id (Scope persistency); 0 when unused. */
+    std::uint64_t scopeId = 0;
+
+    /** Transaction id (Transactional consistency); 0 when unused. */
+    std::uint64_t xactId = 0;
+
+    /** Causal dependencies (Causal consistency UPDs only). */
+    CausalHistory cauhist;
+
+    /** True for messages that carry the 64 B value payload. */
+    bool hasData = false;
+
+    /** Commit flag for ENDX (false = abort the transaction). */
+    bool commit = true;
+
+    /**
+     * Failure epoch of the sender. Receivers drop messages from an
+     * older epoch, modeling in-flight traffic lost to a crash.
+     */
+    std::uint32_t epoch = 0;
+
+    /** Wire size, used for NIC serialization timing. */
+    std::uint32_t sizeBytes() const;
+};
+
+} // namespace ddp::net
+
+#endif // DDP_NET_MESSAGE_HH

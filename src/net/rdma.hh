@@ -1,0 +1,80 @@
+/**
+ * @file
+ * RDMA verb layer with SNIA NVM-PM remote-access extensions.
+ *
+ * The paper models future RDMA commands that guarantee, on
+ * acknowledgment, that the remote volatile memory or the remote NVM has
+ * been updated (SNIA whitepaper; Talpey's RDMA persistency extensions).
+ * This layer exposes those verbs with simulated completion semantics:
+ *
+ *   write()        one-sided write into remote volatile memory (DDIO
+ *                  placement in the remote LLC); ack => remote volatile
+ *                  updated.
+ *   writePersist() one-sided write persisted into remote NVM; ack =>
+ *                  remote NVM durable.
+ *   flush()        flush a previously written remote line from volatile
+ *                  memory to NVM; ack => durable.
+ *
+ * The verbs are used by the quickstart/example code and as a calibration
+ * harness for the protocol engine's persist timing; the DDP protocol
+ * engine itself exchanges Table 3 messages over the Fabric and performs
+ * persists on the receiving node, which is timing-equivalent.
+ */
+
+#ifndef DDP_NET_RDMA_HH
+#define DDP_NET_RDMA_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mem/memory_device.hh"
+#include "net/fabric.hh"
+#include "net/message.hh"
+#include "sim/event_queue.hh"
+
+namespace ddp::net {
+
+/** Completion callback: fires when the verb's guarantee holds. */
+using RdmaCompletion = std::function<void(sim::Tick completed_at)>;
+
+/**
+ * Per-initiator RDMA engine. Holds references to every node's NVM
+ * device so one-sided persistent writes can charge remote NVM timing
+ * without involving the remote CPU.
+ */
+class RdmaEngine
+{
+  public:
+    RdmaEngine(sim::EventQueue &eq, NodeId self,
+               const NetworkParams &params,
+               std::vector<mem::MemoryDevice *> remote_nvms);
+
+    /** One-sided write of @p bytes to remote volatile memory. */
+    void write(NodeId dst, std::uint64_t addr, std::uint32_t bytes,
+               RdmaCompletion done);
+
+    /** One-sided write of @p bytes persisted to remote NVM. */
+    void writePersist(NodeId dst, std::uint64_t addr, std::uint32_t bytes,
+                      RdmaCompletion done);
+
+    /** Flush a remote volatile line to remote NVM. */
+    void flush(NodeId dst, std::uint64_t addr, RdmaCompletion done);
+
+    std::uint64_t opCount() const { return ops; }
+
+  private:
+    /** One-way wire delay for @p bytes of payload. */
+    sim::Tick oneWay(std::uint32_t bytes) const;
+
+    sim::EventQueue &queue;
+    NodeId self;
+    NetworkParams cfg;
+    sim::FifoResource txPipe;
+    std::vector<mem::MemoryDevice *> nvms;
+    std::uint64_t ops = 0;
+};
+
+} // namespace ddp::net
+
+#endif // DDP_NET_RDMA_HH

@@ -1,0 +1,41 @@
+#include "net/tracer.hh"
+
+#include <iomanip>
+#include <ostream>
+
+namespace ddp::net {
+
+std::size_t
+MessageTracer::countOf(MsgType type) const
+{
+    std::size_t n = 0;
+    for (const auto &e : entries) {
+        if (e.type == type)
+            ++n;
+    }
+    return n;
+}
+
+void
+MessageTracer::dump(std::ostream &os, bool key_filter, KeyId key) const
+{
+    for (const auto &e : entries) {
+        if (key_filter && e.key != key)
+            continue;
+        os << '[' << std::setw(9)
+           << static_cast<std::uint64_t>(e.at / sim::kNanosecond)
+           << " ns] " << std::left << std::setw(8)
+           << msgTypeName(e.type) << std::right << e.src << " -> "
+           << e.dst << "  key=" << e.key << " ver=" << e.version.number
+           << '.' << e.version.writer;
+        if (e.opId != 0)
+            os << " op=" << e.opId;
+        if (e.xactId != 0)
+            os << " xact=" << e.xactId;
+        if (e.scopeId != 0)
+            os << " scope=" << e.scopeId;
+        os << '\n';
+    }
+}
+
+} // namespace ddp::net

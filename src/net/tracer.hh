@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Protocol message tracer.
+ *
+ * An optional observer on the fabric that records every delivered
+ * message into a bounded ring buffer and can render a human-readable
+ * timeline — the tool of choice when debugging a protocol
+ * interleaving ("which VAL released this read?"). Tracing costs
+ * nothing when no tracer is attached.
+ */
+
+#ifndef DDP_NET_TRACER_HH
+#define DDP_NET_TRACER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+
+#include "net/message.hh"
+#include "sim/ticks.hh"
+
+namespace ddp::net {
+
+/** One traced delivery. */
+struct TraceEntry
+{
+    sim::Tick at = 0;
+    MsgType type = MsgType::Inv;
+    NodeId src = 0;
+    NodeId dst = 0;
+    KeyId key = 0;
+    Version version{};
+    std::uint64_t opId = 0;
+    std::uint64_t xactId = 0;
+    std::uint64_t scopeId = 0;
+};
+
+/**
+ * Bounded message trace. Attach via Fabric::setTracer(); the fabric
+ * reports each message at its delivery time.
+ */
+class MessageTracer
+{
+  public:
+    explicit MessageTracer(std::size_t capacity = 4096)
+        : cap(capacity)
+    {
+    }
+
+    /** Record a delivery (called by the fabric). */
+    void
+    record(sim::Tick at, const Message &m)
+    {
+        if (entries.size() == cap) {
+            entries.pop_front();
+            ++dropped;
+        }
+        entries.push_back(TraceEntry{at, m.type, m.src, m.dst, m.key,
+                                     m.version, m.opId, m.xactId,
+                                     m.scopeId});
+    }
+
+    std::size_t size() const { return entries.size(); }
+    std::uint64_t droppedEntries() const { return dropped; }
+    const TraceEntry &operator[](std::size_t i) const
+    {
+        return entries[i];
+    }
+
+    /** Visit entries matching @p pred in delivery order. */
+    void
+    forEach(const std::function<void(const TraceEntry &)> &visit) const
+    {
+        for (const auto &e : entries)
+            visit(e);
+    }
+
+    /** Count recorded messages of @p type. */
+    std::size_t countOf(MsgType type) const;
+
+    /**
+     * Render the timeline, one line per message:
+     *   [     1520 ns] INV      0 -> 2  key=7 ver=3.0
+     * Filters to @p key when @p key_filter is true.
+     */
+    void dump(std::ostream &os, bool key_filter = false,
+              KeyId key = 0) const;
+
+    void
+    clear()
+    {
+        entries.clear();
+        dropped = 0;
+    }
+
+  private:
+    std::size_t cap;
+    std::deque<TraceEntry> entries;
+    std::uint64_t dropped = 0;
+};
+
+} // namespace ddp::net
+
+#endif // DDP_NET_TRACER_HH

@@ -1,0 +1,56 @@
+#include "sim/event_queue.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace ddp::sim {
+
+void
+EventQueue::schedule(Tick when, EventFn fn)
+{
+    assert(when >= _now && "cannot schedule an event in the past");
+    events.push(Entry{when, nextSeq++, std::move(fn)});
+}
+
+bool
+EventQueue::step()
+{
+    if (events.empty())
+        return false;
+
+    // priority_queue::top() returns a const ref; the callback must be
+    // moved out before pop() so it can safely reschedule further events.
+    Entry entry = std::move(const_cast<Entry &>(events.top()));
+    events.pop();
+
+    assert(entry.when >= _now);
+    _now = entry.when;
+    ++executed;
+    entry.fn();
+    return true;
+}
+
+void
+EventQueue::run()
+{
+    while (step()) {
+    }
+}
+
+void
+EventQueue::runUntil(Tick limit)
+{
+    while (!events.empty() && events.top().when <= limit)
+        step();
+    if (_now < limit)
+        _now = limit;
+}
+
+void
+EventQueue::clear()
+{
+    while (!events.empty())
+        events.pop();
+}
+
+} // namespace ddp::sim

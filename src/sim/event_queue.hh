@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * All simulation activity in DDPSim is driven by a single EventQueue.
+ * Events scheduled for the same tick are executed in the order they were
+ * scheduled (FIFO tie-break via a monotonically increasing sequence
+ * number), which makes entire cluster simulations bit-reproducible for a
+ * given RNG seed.
+ */
+
+#ifndef DDP_SIM_EVENT_QUEUE_HH
+#define DDP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace ddp::sim {
+
+/** Callback type executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * A deterministic discrete-event queue.
+ *
+ * Usage: schedule callbacks at absolute ticks (or with scheduleIn() at an
+ * offset from now()), then drive the simulation with run(), runUntil(),
+ * or step().
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /** Number of events waiting to fire. */
+    std::size_t pendingEvents() const { return events.size(); }
+
+    /** Total number of events executed so far. */
+    std::uint64_t executedEvents() const { return executed; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     * Scheduling in the past is a programming error and asserts.
+     */
+    void schedule(Tick when, EventFn fn);
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    void scheduleIn(Tick delay, EventFn fn) { schedule(_now + delay, std::move(fn)); }
+
+    /**
+     * Execute the next event, advancing time to its timestamp.
+     * @return true if an event was executed, false if the queue was empty.
+     */
+    bool step();
+
+    /** Run until the queue drains. */
+    void run();
+
+    /**
+     * Run until simulated time would exceed @p limit or the queue drains.
+     * Events scheduled exactly at @p limit are executed. Afterwards, if
+     * the queue is non-empty, now() is clamped to @p limit.
+     */
+    void runUntil(Tick limit);
+
+    /** Drop every pending event (used to tear down experiments). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct EntryCompare
+    {
+        /** std::priority_queue is a max-heap; invert for earliest-first. */
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, EntryCompare> events;
+    Tick _now = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t executed = 0;
+};
+
+} // namespace ddp::sim
+
+#endif // DDP_SIM_EVENT_QUEUE_HH

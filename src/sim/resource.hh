@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Timing resource models.
+ *
+ * DDPSim models contended hardware (NIC serializers, memory banks and
+ * channels, worker cores) as FIFO servers: a request that arrives at time
+ * t needing s ticks of service completes at max(t, next_free) + s. The
+ * resources are pure timing calculators — callers schedule the returned
+ * completion time on the EventQueue themselves — which keeps the device
+ * models composable and trivially testable.
+ */
+
+#ifndef DDP_SIM_RESOURCE_HH
+#define DDP_SIM_RESOURCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace ddp::sim {
+
+/**
+ * A single FIFO server. Work is serialized: each acquisition occupies the
+ * resource for its full service time.
+ */
+class FifoResource
+{
+  public:
+    FifoResource() = default;
+
+    /**
+     * Occupy the resource for @p service ticks starting no earlier than
+     * @p at.
+     * @return the completion time of this piece of work.
+     */
+    Tick
+    acquire(Tick at, Tick service)
+    {
+        Tick start = at > nextFree ? at : nextFree;
+        Tick wait = start - at;
+        nextFree = start + service;
+        busy += service;
+        totalWait += wait;
+        ++acquisitions;
+        return nextFree;
+    }
+
+    /** Time at which the resource next becomes idle. */
+    Tick freeAt() const { return nextFree; }
+
+    /** Backlog visible to a request arriving at @p at. */
+    Tick
+    queueDelay(Tick at) const
+    {
+        return nextFree > at ? nextFree - at : 0;
+    }
+
+    /** Cumulative busy ticks (for utilization stats). */
+    Tick busyTicks() const { return busy; }
+
+    /** Cumulative queueing-delay ticks across all acquisitions. */
+    Tick waitTicks() const { return totalWait; }
+
+    /** Number of acquisitions served. */
+    std::uint64_t count() const { return acquisitions; }
+
+    /** Reset timing state (not statistics). */
+    void reset() { nextFree = 0; }
+
+  private:
+    Tick nextFree = 0;
+    Tick busy = 0;
+    Tick totalWait = 0;
+    std::uint64_t acquisitions = 0;
+};
+
+/**
+ * A pool of k identical FIFO servers (e.g., the worker cores of a
+ * server). An arrival is served by the earliest-free member.
+ */
+class ResourcePool
+{
+  public:
+    explicit ResourcePool(std::size_t servers) : members(servers) {}
+
+    /**
+     * Serve @p service ticks of work arriving at @p at on the
+     * earliest-free member.
+     * @return completion time.
+     */
+    Tick
+    acquire(Tick at, Tick service)
+    {
+        return members[pickEarliest()].acquire(at, service);
+    }
+
+    /** Earliest time any member is free. */
+    Tick
+    earliestFree() const
+    {
+        Tick best = kTickNever;
+        for (const auto &m : members)
+            best = m.freeAt() < best ? m.freeAt() : best;
+        return best;
+    }
+
+    std::size_t size() const { return members.size(); }
+
+    /** Aggregate busy ticks over all members. */
+    Tick
+    busyTicks() const
+    {
+        Tick sum = 0;
+        for (const auto &m : members)
+            sum += m.busyTicks();
+        return sum;
+    }
+
+    /** Total acquisitions across all members. */
+    std::uint64_t
+    count() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &m : members)
+            sum += m.count();
+        return sum;
+    }
+
+    void
+    reset()
+    {
+        for (auto &m : members)
+            m.reset();
+    }
+
+  private:
+    std::size_t
+    pickEarliest() const
+    {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < members.size(); ++i) {
+            if (members[i].freeAt() < members[best].freeAt())
+                best = i;
+        }
+        return best;
+    }
+
+    std::vector<FifoResource> members;
+};
+
+} // namespace ddp::sim
+
+#endif // DDP_SIM_RESOURCE_HH

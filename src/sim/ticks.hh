@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Simulated time base for DDPSim.
+ *
+ * The simulator counts time in integer ticks where one tick equals one
+ * picosecond. Picosecond resolution lets us express sub-nanosecond
+ * quantities (e.g., a 2 GHz core cycle = 500 ticks, NIC serialization of
+ * a 64-byte message at 200 Gb/s = 2560 ticks) without floating point,
+ * which keeps the discrete-event simulation bit-deterministic.
+ */
+
+#ifndef DDP_SIM_TICKS_HH
+#define DDP_SIM_TICKS_HH
+
+#include <cstdint>
+
+namespace ddp::sim {
+
+/** Simulated time, in picoseconds. */
+using Tick = std::uint64_t;
+
+/** One picosecond. */
+constexpr Tick kPicosecond = 1;
+/** One nanosecond, in ticks. */
+constexpr Tick kNanosecond = 1000 * kPicosecond;
+/** One microsecond, in ticks. */
+constexpr Tick kMicrosecond = 1000 * kNanosecond;
+/** One millisecond, in ticks. */
+constexpr Tick kMillisecond = 1000 * kMicrosecond;
+/** One second, in ticks. */
+constexpr Tick kSecond = 1000 * kMillisecond;
+
+/** A tick value representing "never" / unscheduled. */
+constexpr Tick kTickNever = ~Tick{0};
+
+/** Convert ticks to (double) nanoseconds, for reporting only. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kNanosecond);
+}
+
+/** Convert ticks to (double) microseconds, for reporting only. */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+/** Convert ticks to (double) seconds, for reporting only. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/**
+ * Period of a clock of the given frequency (in Hz), in ticks.
+ * E.g., cyclePeriod(2'000'000'000) == 500 ticks for a 2 GHz core.
+ */
+constexpr Tick
+cyclePeriod(std::uint64_t freq_hz)
+{
+    return kSecond / freq_hz;
+}
+
+} // namespace ddp::sim
+
+#endif // DDP_SIM_TICKS_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Named counters and a registry for experiment-level statistics.
+ *
+ * Protocol engines and device models register counters (messages sent,
+ * persists issued, reads stalled, transactions squashed, ...) under
+ * stable names; the experiment runner snapshots the registry before and
+ * after the measurement window so warmup activity is excluded.
+ */
+
+#ifndef DDP_STATS_COUNTER_HH
+#define DDP_STATS_COUNTER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ddp::stats {
+
+/**
+ * A flat registry of named uint64 counters. Lookup creates on demand.
+ */
+class CounterRegistry
+{
+  public:
+    /** Increment @p name by @p delta. */
+    void
+    add(const std::string &name, std::uint64_t delta = 1)
+    {
+        values[name] += delta;
+    }
+
+    /** Current value of @p name (0 if never touched). */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = values.find(name);
+        return it == values.end() ? 0 : it->second;
+    }
+
+    /** Snapshot of all counters (copy). */
+    std::map<std::string, std::uint64_t> snapshot() const { return values; }
+
+    /**
+     * Difference of all counters against an earlier snapshot; counters
+     * that did not change are still included (value 0) if present now.
+     */
+    std::map<std::string, std::uint64_t>
+    diff(const std::map<std::string, std::uint64_t> &before) const
+    {
+        std::map<std::string, std::uint64_t> out;
+        for (const auto &[name, v] : values) {
+            auto it = before.find(name);
+            std::uint64_t old = it == before.end() ? 0 : it->second;
+            out[name] = v - old;
+        }
+        return out;
+    }
+
+    void clear() { values.clear(); }
+
+  private:
+    std::map<std::string, std::uint64_t> values;
+};
+
+} // namespace ddp::stats
+
+#endif // DDP_STATS_COUNTER_HH

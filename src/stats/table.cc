@@ -1,0 +1,64 @@
+#include "stats/table.hh"
+
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+
+namespace ddp::stats {
+
+Table::Table(std::vector<std::string> header) : head(std::move(header))
+{
+    assert(!head.empty());
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    assert(row.size() == head.size() && "row width must match header");
+    body.push_back(std::move(row));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(head.size());
+    for (std::size_t c = 0; c < head.size(); ++c)
+        width[c] = head[c].size();
+    for (const auto &row : body) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (row[c].size() > width[c])
+                width[c] = row[c].size();
+        }
+    }
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size()) {
+                for (std::size_t p = row[c].size(); p < width[c] + 2; ++p)
+                    os << ' ';
+            }
+        }
+        os << '\n';
+    };
+
+    emit(head);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    for (std::size_t p = 0; p < total; ++p)
+        os << '-';
+    os << '\n';
+    for (const auto &row : body)
+        emit(row);
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+} // namespace ddp::stats

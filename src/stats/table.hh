@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fixed-width ASCII table printer used by the benchmark harnesses to
+ * emit paper-style tables and figure series.
+ */
+
+#ifndef DDP_STATS_TABLE_HH
+#define DDP_STATS_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ddp::stats {
+
+/**
+ * A simple column-aligned table. Add a header row, then data rows; every
+ * row must have the same number of cells as the header.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a data row. Must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render the table, column-aligned, with a separator under header. */
+    void print(std::ostream &os) const;
+
+    std::size_t rows() const { return body.size(); }
+    std::size_t columns() const { return head.size(); }
+
+    /** Format a double with @p precision decimal places. */
+    static std::string num(double v, int precision = 2);
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace ddp::stats
+
+#endif // DDP_STATS_TABLE_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Event-rate time series.
+ *
+ * Buckets event occurrences into fixed simulated-time intervals so an
+ * experiment can be plotted over time — e.g., the throughput dip and
+ * recovery after an injected crash. Buckets are created lazily as time
+ * advances; queries return events-per-second per bucket.
+ */
+
+#ifndef DDP_STATS_TIMESERIES_HH
+#define DDP_STATS_TIMESERIES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace ddp::stats {
+
+/** Fixed-interval event-rate recorder. */
+class RateSeries
+{
+  public:
+    /** @param interval bucket width in ticks (must be > 0). */
+    explicit RateSeries(sim::Tick interval)
+        : bucketWidth(interval)
+    {
+    }
+
+    /** Record one event at time @p at. */
+    void
+    record(sim::Tick at)
+    {
+        std::size_t idx = static_cast<std::size_t>(at / bucketWidth);
+        if (idx >= counts.size())
+            counts.resize(idx + 1, 0);
+        ++counts[idx];
+        ++total;
+    }
+
+    /** Record @p n events at time @p at. */
+    void
+    recordN(sim::Tick at, std::uint64_t n)
+    {
+        std::size_t idx = static_cast<std::size_t>(at / bucketWidth);
+        if (idx >= counts.size())
+            counts.resize(idx + 1, 0);
+        counts[idx] += n;
+        total += n;
+    }
+
+    sim::Tick interval() const { return bucketWidth; }
+    std::size_t buckets() const { return counts.size(); }
+    std::uint64_t totalEvents() const { return total; }
+
+    /** Raw event count of bucket @p i. */
+    std::uint64_t
+    countAt(std::size_t i) const
+    {
+        return i < counts.size() ? counts[i] : 0;
+    }
+
+    /** Event rate (per second) of bucket @p i. */
+    double
+    rateAt(std::size_t i) const
+    {
+        return static_cast<double>(countAt(i)) /
+               sim::ticksToSeconds(bucketWidth);
+    }
+
+    /** Start time of bucket @p i. */
+    sim::Tick
+    bucketStart(std::size_t i) const
+    {
+        return static_cast<sim::Tick>(i) * bucketWidth;
+    }
+
+    /** Index of the bucket with the fewest events in [first, last). */
+    std::size_t
+    minBucket(std::size_t first, std::size_t last) const
+    {
+        std::size_t best = first;
+        for (std::size_t i = first; i < last && i < counts.size();
+             ++i) {
+            if (counts[i] < counts[best])
+                best = i;
+        }
+        return best;
+    }
+
+    void
+    clear()
+    {
+        counts.clear();
+        total = 0;
+    }
+
+  private:
+    sim::Tick bucketWidth;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t total = 0;
+};
+
+} // namespace ddp::stats
+
+#endif // DDP_STATS_TIMESERIES_HH

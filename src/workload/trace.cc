@@ -1,0 +1,59 @@
+#include "workload/trace.hh"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace ddp::workload {
+
+Trace
+Trace::record(OpGenerator &gen, std::size_t count)
+{
+    Trace t;
+    t.ops.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        t.ops.push_back(gen.next());
+    return t;
+}
+
+void
+Trace::save(std::ostream &os) const
+{
+    for (const Op &op : ops) {
+        os << (op.type == OpType::Read ? 'R' : 'W') << ' ' << op.key
+           << '\n';
+    }
+}
+
+bool
+Trace::load(std::istream &is, Trace &out)
+{
+    Trace t;
+    std::string kind;
+    std::uint64_t key;
+    while (is >> kind >> key) {
+        if (kind == "R")
+            t.ops.push_back({OpType::Read, key});
+        else if (kind == "W")
+            t.ops.push_back({OpType::Write, key});
+        else
+            return false;
+    }
+    out = std::move(t);
+    return true;
+}
+
+double
+Trace::writeFraction() const
+{
+    if (ops.empty())
+        return 0.0;
+    std::size_t writes = 0;
+    for (const Op &op : ops) {
+        if (op.type == OpType::Write)
+            ++writes;
+    }
+    return static_cast<double>(writes) / static_cast<double>(ops.size());
+}
+
+} // namespace ddp::workload

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Operation trace recording and replay.
+ *
+ * The paper's methodology collects Pin instruction traces of clients
+ * and replays them in the timing simulator. DDPSim's analogue records
+ * generated operation streams into a Trace that can be saved, loaded,
+ * and replayed deterministically, so an identical request sequence can
+ * be driven through every DDP model under comparison.
+ */
+
+#ifndef DDP_WORKLOAD_TRACE_HH
+#define DDP_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "workload/ycsb.hh"
+
+namespace ddp::workload {
+
+/** A recorded operation stream. */
+class Trace
+{
+  public:
+    Trace() = default;
+
+    /** Record @p count ops from @p gen. */
+    static Trace record(OpGenerator &gen, std::size_t count);
+
+    void append(const Op &op) { ops.push_back(op); }
+
+    std::size_t size() const { return ops.size(); }
+    bool empty() const { return ops.empty(); }
+    const Op &operator[](std::size_t i) const { return ops[i]; }
+
+    auto begin() const { return ops.begin(); }
+    auto end() const { return ops.end(); }
+
+    /** Serialize as one "R <key>" / "W <key>" line per op. */
+    void save(std::ostream &os) const;
+
+    /** Parse the save() format. @return false on malformed input. */
+    static bool load(std::istream &is, Trace &out);
+
+    /** Fraction of write ops (sanity checks in tests). */
+    double writeFraction() const;
+
+    friend bool
+    operator==(const Trace &a, const Trace &b)
+    {
+        return a.ops == b.ops;
+    }
+
+  private:
+    std::vector<Op> ops;
+};
+
+/**
+ * Cyclic cursor over a Trace: replays the trace repeatedly, which lets
+ * short recorded traces drive arbitrarily long simulations (as the
+ * paper's 10-billion-instruction replays do).
+ */
+class TraceCursor
+{
+  public:
+    explicit TraceCursor(const Trace &trace, std::size_t start = 0)
+        : src(&trace), pos(trace.empty() ? 0 : start % trace.size())
+    {
+    }
+
+    Op
+    next()
+    {
+        const Op &op = (*src)[pos];
+        pos = (pos + 1) % src->size();
+        return op;
+    }
+
+  private:
+    const Trace *src;
+    std::size_t pos = 0;
+};
+
+} // namespace ddp::workload
+
+#endif // DDP_WORKLOAD_TRACE_HH

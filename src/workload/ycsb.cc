@@ -1,0 +1,91 @@
+#include "workload/ycsb.hh"
+
+namespace ddp::workload {
+
+WorkloadSpec
+WorkloadSpec::ycsbA(std::uint64_t keys)
+{
+    WorkloadSpec w;
+    w.name = "ycsb-a";
+    w.readFraction = 0.5;
+    w.keyCount = keys;
+    return w;
+}
+
+WorkloadSpec
+WorkloadSpec::ycsbB(std::uint64_t keys)
+{
+    WorkloadSpec w;
+    w.name = "ycsb-b";
+    w.readFraction = 0.95;
+    w.keyCount = keys;
+    return w;
+}
+
+WorkloadSpec
+WorkloadSpec::ycsbC(std::uint64_t keys)
+{
+    WorkloadSpec w;
+    w.name = "ycsb-c";
+    w.readFraction = 1.0;
+    w.keyCount = keys;
+    return w;
+}
+
+WorkloadSpec
+WorkloadSpec::ycsbW(std::uint64_t keys)
+{
+    WorkloadSpec w;
+    w.name = "ycsb-w";
+    w.readFraction = 0.05;
+    w.keyCount = keys;
+    return w;
+}
+
+WorkloadSpec
+WorkloadSpec::ycsbD(std::uint64_t keys)
+{
+    WorkloadSpec w;
+    w.name = "ycsb-d";
+    w.readFraction = 0.95;
+    w.keyCount = keys;
+    w.distribution = KeyDistribution::Latest;
+    return w;
+}
+
+OpGenerator::OpGenerator(const WorkloadSpec &spec, std::uint64_t seed,
+                         std::uint64_t stream)
+    : wl(spec), rng(seed, stream), zipf(spec.keyCount, spec.zipfTheta)
+{
+}
+
+Op
+OpGenerator::next()
+{
+    Op op;
+    op.type = rng.nextDouble() < wl.readFraction ? OpType::Read
+                                                 : OpType::Write;
+    switch (wl.distribution) {
+      case KeyDistribution::Zipfian:
+        op.key = zipf.next(rng);
+        break;
+      case KeyDistribution::Uniform:
+        op.key = rng.nextU64() % wl.keyCount;
+        break;
+      case KeyDistribution::Latest:
+        if (op.type == OpType::Write) {
+            // Writes advance the insertion frontier (cyclically).
+            frontier = (frontier + 1) % wl.keyCount;
+            op.key = frontier;
+        } else {
+            // Reads favour keys just behind the frontier.
+            std::uint64_t back = zipf.next(rng);
+            op.key = (frontier + wl.keyCount - back % wl.keyCount) %
+                     wl.keyCount;
+        }
+        break;
+    }
+    return op;
+}
+
+} // namespace ddp::workload

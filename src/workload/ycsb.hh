@@ -1,0 +1,103 @@
+/**
+ * @file
+ * YCSB-compatible workload specification and operation generator.
+ *
+ * Reproduces the workload mixes the paper evaluates with the Yahoo!
+ * Cloud Serving Benchmark: workload A (50% reads / 50% writes — the
+ * default), B (95/5), C (100/0), and the paper-defined workload W
+ * (5/95). Key popularity follows the YCSB zipfian distribution
+ * (Gray et al. rejection sampler, theta = 0.99) or uniform.
+ */
+
+#ifndef DDP_WORKLOAD_YCSB_HH
+#define DDP_WORKLOAD_YCSB_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/random.hh"
+
+namespace ddp::workload {
+
+/** Operation kind issued by a client. */
+enum class OpType : std::uint8_t
+{
+    Read,
+    Write,
+};
+
+/** One client operation. */
+struct Op
+{
+    OpType type = OpType::Read;
+    std::uint64_t key = 0;
+
+    friend bool
+    operator==(const Op &a, const Op &b)
+    {
+        return a.type == b.type && a.key == b.key;
+    }
+};
+
+/** Key popularity distribution. */
+enum class KeyDistribution : std::uint8_t
+{
+    Zipfian,
+    Uniform,
+    /**
+     * YCSB "latest": recently inserted keys are the most popular.
+     * The generator tracks a moving insertion frontier; reads sample a
+     * zipfian offset back from it, writes advance it (cyclically, so
+     * the key space stays bounded).
+     */
+    Latest,
+};
+
+/** A workload mix over a key space. */
+struct WorkloadSpec
+{
+    std::string name = "ycsb-a";
+    double readFraction = 0.5;
+    std::uint64_t keyCount = 10000;
+    KeyDistribution distribution = KeyDistribution::Zipfian;
+    double zipfTheta = 0.99;
+
+    /** YCSB-A: 50% reads, 50% writes (the paper's default). */
+    static WorkloadSpec ycsbA(std::uint64_t keys = 10000);
+    /** YCSB-B: 95% reads, 5% writes. */
+    static WorkloadSpec ycsbB(std::uint64_t keys = 10000);
+    /** YCSB-C: 100% reads. */
+    static WorkloadSpec ycsbC(std::uint64_t keys = 10000);
+    /** Paper-defined workload W: 5% reads, 95% writes. */
+    static WorkloadSpec ycsbW(std::uint64_t keys = 10000);
+    /** YCSB-D: 95% reads, 5% writes, latest-distribution reads. */
+    static WorkloadSpec ycsbD(std::uint64_t keys = 10000);
+};
+
+/**
+ * Per-client operation generator. Each generator owns an independent
+ * RNG stream so clients are statistically independent yet the whole
+ * simulation stays deterministic.
+ */
+class OpGenerator
+{
+  public:
+    OpGenerator(const WorkloadSpec &spec, std::uint64_t seed,
+                std::uint64_t stream);
+
+    /** Draw the next operation. */
+    Op next();
+
+    const WorkloadSpec &spec() const { return wl; }
+
+  private:
+    WorkloadSpec wl;
+    sim::Pcg32 rng;
+    sim::ZipfianGenerator zipf;
+    /** Insertion frontier for the Latest distribution. */
+    std::uint64_t frontier = 0;
+};
+
+} // namespace ddp::workload
+
+#endif // DDP_WORKLOAD_YCSB_HH

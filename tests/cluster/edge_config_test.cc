@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Edge-of-configuration tests: minimal clusters, replication factor 1
+ * (no redundancy at all), single-client runs, tiny key spaces, and
+ * store-backend plumbing through the cluster config.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hh"
+
+using namespace ddp;
+using namespace ddp::cluster;
+using core::Consistency;
+using core::DdpModel;
+using core::Persistency;
+
+namespace {
+
+ClusterConfig
+tinyConfig(DdpModel m)
+{
+    ClusterConfig c;
+    c.model = m;
+    c.numServers = 2;
+    c.clientsPerServer = 2;
+    c.keyCount = 64;
+    c.workload = workload::WorkloadSpec::ycsbA(64);
+    c.warmup = 100 * sim::kMicrosecond;
+    c.measure = 300 * sim::kMicrosecond;
+    c.seed = 3;
+    return c;
+}
+
+} // namespace
+
+TEST(EdgeConfig, TwoServerClusterWorks)
+{
+    for (Persistency p :
+         {Persistency::Strict, Persistency::Synchronous,
+          Persistency::ReadEnforced, Persistency::Eventual}) {
+        Cluster c(tinyConfig({Consistency::Linearizable, p}));
+        RunResult r = c.run();
+        EXPECT_GT(r.reads + r.writes, 100u)
+            << core::persistencyName(p);
+    }
+}
+
+TEST(EdgeConfig, ReplicationFactorOneMeansNoFollowers)
+{
+    // R=1: each key lives on exactly one node; invalidation rounds have
+    // nobody to wait for and writes complete at local speed.
+    ClusterConfig cfg = tinyConfig(
+        {Consistency::Linearizable, Persistency::Synchronous});
+    cfg.numServers = 3;
+    cfg.replicationFactor = 1;
+    Cluster c(cfg);
+    RunResult r = c.run();
+    EXPECT_GT(r.writes, 100u);
+    // No INV/ACK/VAL traffic at all: every op is local to the key's
+    // only replica (clients route there directly).
+    EXPECT_EQ(r.counters["inv_sent"], 0u);
+    // Writes complete well under the replicated write's ~3 us: just
+    // the local admission, store access, and persist.
+    EXPECT_LT(r.meanWriteNs, 2000.0);
+}
+
+TEST(EdgeConfig, SingleClientRuns)
+{
+    ClusterConfig cfg = tinyConfig(
+        {Consistency::Causal, Persistency::Synchronous});
+    cfg.clientsPerServer = 1;
+    cfg.numServers = 2;
+    Cluster c(cfg);
+    RunResult r = c.run();
+    EXPECT_GT(r.reads + r.writes, 50u);
+}
+
+TEST(EdgeConfig, TinyKeySpaceMaximizesContention)
+{
+    // Every request hits one of 4 keys: heavy per-key serialization,
+    // but the run must still make progress.
+    ClusterConfig cfg = tinyConfig(
+        {Consistency::Linearizable, Persistency::Synchronous});
+    cfg.keyCount = 4;
+    cfg.workload = workload::WorkloadSpec::ycsbA(4);
+    Cluster c(cfg);
+    RunResult r = c.run();
+    EXPECT_GT(r.reads + r.writes, 100u);
+    EXPECT_GT(r.readsStalledVisibility, 0u);
+}
+
+TEST(EdgeConfig, StoreBackendFlowsThroughConfig)
+{
+    ClusterConfig cfg = tinyConfig(
+        {Consistency::Causal, Persistency::Eventual});
+    cfg.node.storeKind = kv::StoreKind::BPlusTree;
+    Cluster c(cfg);
+    EXPECT_EQ(c.node(0).store().kind(), kv::StoreKind::BPlusTree);
+    RunResult r = c.run();
+    EXPECT_GT(r.reads + r.writes, 100u);
+}
+
+TEST(EdgeConfig, ReadOnlyWorkloadNeverPersists)
+{
+    ClusterConfig cfg = tinyConfig(
+        {Consistency::Linearizable, Persistency::Synchronous});
+    cfg.workload = workload::WorkloadSpec::ycsbC(64);
+    Cluster c(cfg);
+    RunResult r = c.run();
+    EXPECT_EQ(r.writes, 0u);
+    EXPECT_GT(r.reads, 100u);
+    EXPECT_EQ(r.persistsIssued, 0u);
+}
+
+TEST(EdgeConfig, WorkloadDRunsThroughCluster)
+{
+    ClusterConfig cfg = tinyConfig(
+        {Consistency::Causal, Persistency::Synchronous});
+    cfg.workload = workload::WorkloadSpec::ycsbD(64);
+    Cluster c(cfg);
+    RunResult r = c.run();
+    EXPECT_GT(r.reads, r.writes * 5);
+}
+
+TEST(EdgeConfig, ZeroMeasureWindowYieldsEmptyResult)
+{
+    ClusterConfig cfg = tinyConfig(
+        {Consistency::Causal, Persistency::Synchronous});
+    cfg.measure = 0;
+    Cluster c(cfg);
+    RunResult r = c.run();
+    EXPECT_EQ(r.reads + r.writes, 0u);
+    EXPECT_EQ(r.throughput, 0.0);
+}

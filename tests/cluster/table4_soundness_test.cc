@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Table-4 soundness sweep: for every one of the 25 DDP models, run a
+ * crash-injected cluster workload and verify that each property the
+ * trait matrix *promises* is actually delivered:
+ *
+ *  - monotonicReads == yes  =>  zero monotonic-read violations,
+ *  - nonStaleReads == yes   =>  zero stale reads,
+ *  - write-completion-implies-durability (Strict persistency, or
+ *    Synchronous bound to Linearizable/Transactional) => zero lost
+ *    acknowledged writes.
+ *
+ * The converse ("no" entries must show violations) depends on the
+ * workload actually hitting the window and is exercised by the
+ * targeted CrashSignatures tests; here we only assert the sound
+ * direction, which must hold for every schedule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hh"
+
+using namespace ddp;
+using namespace ddp::cluster;
+using core::Consistency;
+using core::DdpModel;
+using core::Persistency;
+
+class Table4Soundness : public ::testing::TestWithParam<DdpModel>
+{
+};
+
+TEST_P(Table4Soundness, PromisedPropertiesHoldUnderCrash)
+{
+    const DdpModel model = GetParam();
+    core::ModelTraits traits = core::traitsOf(model);
+
+    core::PropertyChecker checker;
+    ClusterConfig cfg;
+    cfg.model = model;
+    cfg.numServers = 3;
+    cfg.clientsPerServer = 4;
+    cfg.keyCount = 2000;
+    cfg.workload = workload::WorkloadSpec::ycsbA(2000);
+    cfg.warmup = 200 * sim::kMicrosecond;
+    cfg.measure = 600 * sim::kMicrosecond;
+    cfg.seed = 11;
+
+    Cluster cluster(cfg);
+    cluster.setChecker(&checker);
+    cluster.scheduleCrash(cfg.warmup + cfg.measure / 3);
+    RunResult r = cluster.run();
+
+    ASSERT_GT(r.reads + r.writes, 500u);
+
+    if (traits.monotonicReads) {
+        EXPECT_EQ(r.monotonicViolations, 0u)
+            << core::modelName(model)
+            << " promises monotonic reads but violated them";
+    }
+    if (traits.nonStaleReads) {
+        EXPECT_EQ(r.staleReads, 0u)
+            << core::modelName(model)
+            << " promises non-stale reads but served stale data";
+    }
+
+    bool writes_durable_at_completion =
+        model.persistency == Persistency::Strict ||
+        (model.persistency == Persistency::Synchronous &&
+         (model.consistency == Consistency::Linearizable ||
+          model.consistency == Consistency::Transactional));
+    if (writes_durable_at_completion) {
+        EXPECT_EQ(r.lostAckedWriteKeys, 0u)
+            << core::modelName(model)
+            << " completes writes only when durable, yet lost some";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All25, Table4Soundness, ::testing::ValuesIn(core::allModels()),
+    [](const ::testing::TestParamInfo<DdpModel> &info) {
+        std::string s = core::modelName(info.param);
+        std::string out;
+        for (char ch : s) {
+            if (std::isalnum(static_cast<unsigned char>(ch)))
+                out += ch;
+            else if (ch == ',')
+                out += '_';
+        }
+        return out;
+    });

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the property checkers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ddp/checkers.hh"
+
+using namespace ddp::core;
+namespace net = ddp::net;
+using ddp::net::Version;
+
+TEST(PropertyChecker, MonotonicPerReplicaOk)
+{
+    PropertyChecker c;
+    c.onRead(0, 1, Version{1, 0}, 10, 20);
+    c.onRead(0, 1, Version{1, 0}, 30, 40); // same version ok
+    c.onRead(0, 1, Version{2, 0}, 50, 60); // newer ok
+    EXPECT_EQ(c.monotonicViolations(), 0u);
+    EXPECT_EQ(c.readsObserved(), 3u);
+}
+
+TEST(PropertyChecker, MonotonicViolationDetected)
+{
+    PropertyChecker c;
+    c.onRead(0, 1, Version{5, 0}, 10, 20);
+    c.onRead(0, 1, Version{3, 0}, 30, 40);
+    EXPECT_EQ(c.monotonicViolations(), 1u);
+}
+
+TEST(PropertyChecker, MonotonicTrackedPerReplica)
+{
+    PropertyChecker c;
+    c.onRead(0, 1, Version{5, 0}, 10, 20);
+    // A different node serving an older replica is not a per-replica
+    // regression.
+    c.onRead(1, 1, Version{3, 0}, 30, 40);
+    EXPECT_EQ(c.monotonicViolations(), 0u);
+}
+
+TEST(PropertyChecker, StaleReadDetected)
+{
+    PropertyChecker c;
+    c.onWriteComplete(1, Version{7, 0}, 100);
+    // Read issued after the write completed but returning older data.
+    c.onRead(0, 1, Version{6, 0}, 200, 210);
+    EXPECT_EQ(c.staleReads(), 1u);
+}
+
+TEST(PropertyChecker, ConcurrentReadNotStale)
+{
+    PropertyChecker c;
+    c.onWriteComplete(1, Version{7, 0}, 100);
+    // Read issued before the write completed: old data is fine.
+    c.onRead(0, 1, Version{6, 0}, 50, 210);
+    EXPECT_EQ(c.staleReads(), 0u);
+}
+
+TEST(PropertyChecker, FreshReadNotStale)
+{
+    PropertyChecker c;
+    c.onWriteComplete(1, Version{7, 0}, 100);
+    c.onRead(0, 1, Version{7, 0}, 200, 210);
+    c.onRead(0, 1, Version{8, 1}, 300, 310); // even newer
+    EXPECT_EQ(c.staleReads(), 0u);
+}
+
+TEST(PropertyChecker, AuditCountsLostKeys)
+{
+    PropertyChecker c;
+    c.onWriteComplete(1, Version{3, 0}, 100);
+    c.onWriteComplete(2, Version{5, 0}, 100);
+    c.onWriteComplete(3, Version{9, 0}, 100);
+    auto recovered = [](net::KeyId key) {
+        // Key 1 fully recovered; key 2 lost entirely; key 3 partially.
+        switch (key) {
+          case 1: return Version{3, 0};
+          case 2: return Version{0, 0};
+          default: return Version{8, 0};
+        }
+    };
+    EXPECT_EQ(c.auditLostWrites(recovered), 2u);
+}
+
+TEST(PropertyChecker, WriteCompletionKeepsNewest)
+{
+    PropertyChecker c;
+    c.onWriteComplete(1, Version{5, 0}, 100);
+    c.onWriteComplete(1, Version{3, 0}, 150); // older write, later ack
+    c.onRead(0, 1, Version{5, 0}, 200, 210);
+    EXPECT_EQ(c.staleReads(), 0u);
+    EXPECT_EQ(c.writesObserved(), 2u);
+}
+
+TEST(PropertyChecker, ResetObservationsKeepsCounters)
+{
+    PropertyChecker c;
+    c.onRead(0, 1, Version{5, 0}, 10, 20);
+    c.onRead(0, 1, Version{3, 0}, 30, 40);
+    c.resetObservations();
+    // Violation counters survive; observation state does not.
+    EXPECT_EQ(c.monotonicViolations(), 1u);
+    c.onRead(0, 1, Version{1, 0}, 50, 60); // no prior state now
+    EXPECT_EQ(c.monotonicViolations(), 1u);
+}
+
+TEST(PropertyChecker, ClearResetsEverything)
+{
+    PropertyChecker c;
+    c.onRead(0, 1, Version{5, 0}, 10, 20);
+    c.onRead(0, 1, Version{3, 0}, 30, 40);
+    c.clear();
+    EXPECT_EQ(c.monotonicViolations(), 0u);
+    EXPECT_EQ(c.readsObserved(), 0u);
+}

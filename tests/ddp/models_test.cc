@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Tests for the DDP model definitions and the Table 4 trait matrix.
+ * The ten tabulated rows of the paper are checked exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ddp/models.hh"
+
+using namespace ddp::core;
+
+TEST(Models, TwentyFiveCombinations)
+{
+    auto models = allModels();
+    EXPECT_EQ(models.size(), 25u);
+    EXPECT_EQ(allConsistencies().size(), 5u);
+    EXPECT_EQ(allPersistencies().size(), 5u);
+    // All distinct.
+    for (std::size_t i = 0; i < models.size(); ++i) {
+        for (std::size_t j = i + 1; j < models.size(); ++j)
+            EXPECT_FALSE(models[i] == models[j]);
+    }
+}
+
+TEST(Models, Names)
+{
+    DdpModel m{Consistency::Causal, Persistency::Synchronous};
+    EXPECT_EQ(modelName(m), "<Causal, Synchronous>");
+    EXPECT_STREQ(consistencyName(Consistency::ReadEnforced),
+                 "Read-Enforced");
+    EXPECT_STREQ(persistencyName(Persistency::Scope), "Scope");
+    EXPECT_STREQ(levelName(Level::Medium), "Medium");
+}
+
+namespace {
+
+ModelTraits
+traits(Consistency c, Persistency p)
+{
+    return traitsOf({c, p});
+}
+
+} // namespace
+
+// Table 4, row 1: <Linearizable, Synchronous>.
+TEST(Table4, Row1LinearizableSynchronous)
+{
+    ModelTraits t = traits(Consistency::Linearizable,
+                           Persistency::Synchronous);
+    EXPECT_EQ(t.durability, Level::High);
+    EXPECT_FALSE(t.writesOptimized);
+    EXPECT_FALSE(t.readsOptimized);
+    EXPECT_EQ(t.traffic, Level::Medium);
+    EXPECT_EQ(t.performance, Level::Low);
+    EXPECT_TRUE(t.monotonicReads);
+    EXPECT_TRUE(t.nonStaleReads);
+    EXPECT_EQ(t.intuition, Level::High);
+    EXPECT_EQ(t.programmability, Level::High);
+    EXPECT_EQ(t.implementability, Level::High);
+}
+
+// Table 4, row 2: <Read-Enforced, Synchronous>.
+TEST(Table4, Row2ReadEnforcedSynchronous)
+{
+    ModelTraits t = traits(Consistency::ReadEnforced,
+                           Persistency::Synchronous);
+    EXPECT_EQ(t.durability, Level::Medium);
+    EXPECT_TRUE(t.writesOptimized);
+    EXPECT_FALSE(t.readsOptimized);
+    EXPECT_EQ(t.traffic, Level::Medium);
+    EXPECT_EQ(t.performance, Level::Medium);
+    EXPECT_TRUE(t.monotonicReads);
+    EXPECT_FALSE(t.nonStaleReads);
+    EXPECT_EQ(t.intuition, Level::Medium);
+    EXPECT_EQ(t.programmability, Level::High);
+    EXPECT_EQ(t.implementability, Level::High);
+}
+
+// Table 4, row 3: <Transactional, Synchronous>.
+TEST(Table4, Row3TransactionalSynchronous)
+{
+    ModelTraits t = traits(Consistency::Transactional,
+                           Persistency::Synchronous);
+    EXPECT_EQ(t.durability, Level::High);
+    EXPECT_TRUE(t.writesOptimized);
+    EXPECT_TRUE(t.readsOptimized);
+    EXPECT_EQ(t.traffic, Level::High);
+    EXPECT_EQ(t.performance, Level::High);
+    EXPECT_TRUE(t.monotonicReads);
+    EXPECT_TRUE(t.nonStaleReads);
+    EXPECT_EQ(t.intuition, Level::High);
+    EXPECT_EQ(t.programmability, Level::Low);
+    EXPECT_EQ(t.implementability, Level::Low);
+}
+
+// Table 4, row 4: <Causal, Synchronous>.
+TEST(Table4, Row4CausalSynchronous)
+{
+    ModelTraits t = traits(Consistency::Causal,
+                           Persistency::Synchronous);
+    EXPECT_EQ(t.durability, Level::Medium);
+    EXPECT_TRUE(t.writesOptimized);
+    EXPECT_TRUE(t.readsOptimized);
+    EXPECT_EQ(t.traffic, Level::High);
+    EXPECT_EQ(t.performance, Level::High);
+    EXPECT_TRUE(t.monotonicReads);
+    EXPECT_FALSE(t.nonStaleReads);
+    EXPECT_EQ(t.intuition, Level::Medium);
+    EXPECT_EQ(t.programmability, Level::High);
+    EXPECT_EQ(t.implementability, Level::Low);
+}
+
+// Table 4, row 5: <Eventual, Synchronous>.
+TEST(Table4, Row5EventualSynchronous)
+{
+    ModelTraits t = traits(Consistency::Eventual,
+                           Persistency::Synchronous);
+    EXPECT_EQ(t.durability, Level::Low);
+    EXPECT_TRUE(t.writesOptimized);
+    EXPECT_TRUE(t.readsOptimized);
+    EXPECT_EQ(t.traffic, Level::Low);
+    EXPECT_EQ(t.performance, Level::High);
+    EXPECT_FALSE(t.monotonicReads);
+    EXPECT_FALSE(t.nonStaleReads);
+    EXPECT_EQ(t.intuition, Level::Low);
+    EXPECT_EQ(t.programmability, Level::High);
+    EXPECT_EQ(t.implementability, Level::High);
+}
+
+// Table 4, row 6: <Linearizable, Read-Enforced>.
+TEST(Table4, Row6LinearizableReadEnforced)
+{
+    ModelTraits t = traits(Consistency::Linearizable,
+                           Persistency::ReadEnforced);
+    EXPECT_EQ(t.durability, Level::Medium);
+    EXPECT_TRUE(t.writesOptimized);
+    EXPECT_FALSE(t.readsOptimized);
+    EXPECT_EQ(t.traffic, Level::High);
+    EXPECT_EQ(t.performance, Level::Medium);
+    EXPECT_TRUE(t.monotonicReads);
+    EXPECT_FALSE(t.nonStaleReads);
+    EXPECT_EQ(t.intuition, Level::Medium);
+    EXPECT_EQ(t.programmability, Level::High);
+    EXPECT_EQ(t.implementability, Level::High);
+}
+
+// Table 4, row 7: <Causal, Read-Enforced>.
+TEST(Table4, Row7CausalReadEnforced)
+{
+    ModelTraits t = traits(Consistency::Causal,
+                           Persistency::ReadEnforced);
+    EXPECT_EQ(t.durability, Level::Medium);
+    EXPECT_TRUE(t.writesOptimized);
+    EXPECT_FALSE(t.readsOptimized);
+    EXPECT_EQ(t.traffic, Level::High);
+    EXPECT_EQ(t.performance, Level::High);
+    EXPECT_TRUE(t.monotonicReads);
+    EXPECT_FALSE(t.nonStaleReads);
+    EXPECT_EQ(t.intuition, Level::Medium);
+    EXPECT_EQ(t.programmability, Level::High);
+    EXPECT_EQ(t.implementability, Level::Low);
+}
+
+// Table 4, row 8: <Linearizable, Eventual>.
+TEST(Table4, Row8LinearizableEventual)
+{
+    ModelTraits t = traits(Consistency::Linearizable,
+                           Persistency::Eventual);
+    EXPECT_EQ(t.durability, Level::Low);
+    EXPECT_TRUE(t.writesOptimized);
+    EXPECT_TRUE(t.readsOptimized);
+    EXPECT_EQ(t.traffic, Level::Low);
+    EXPECT_EQ(t.performance, Level::High);
+    EXPECT_FALSE(t.monotonicReads);
+    EXPECT_FALSE(t.nonStaleReads);
+    EXPECT_EQ(t.intuition, Level::Low);
+    EXPECT_EQ(t.programmability, Level::High);
+    EXPECT_EQ(t.implementability, Level::High);
+}
+
+// Table 4, row 9: <Linearizable, Scope>.
+TEST(Table4, Row9LinearizableScope)
+{
+    ModelTraits t = traits(Consistency::Linearizable,
+                           Persistency::Scope);
+    EXPECT_EQ(t.durability, Level::High);
+    EXPECT_TRUE(t.writesOptimized);
+    EXPECT_TRUE(t.readsOptimized);
+    EXPECT_EQ(t.traffic, Level::High);
+    EXPECT_EQ(t.performance, Level::High);
+    EXPECT_FALSE(t.monotonicReads);
+    EXPECT_FALSE(t.nonStaleReads);
+    EXPECT_EQ(t.intuition, Level::High);
+    EXPECT_EQ(t.programmability, Level::Low);
+    EXPECT_EQ(t.implementability, Level::Low);
+}
+
+// Table 4, row 10: <Transactional, Scope>.
+TEST(Table4, Row10TransactionalScope)
+{
+    ModelTraits t = traits(Consistency::Transactional,
+                           Persistency::Scope);
+    EXPECT_EQ(t.durability, Level::High);
+    EXPECT_TRUE(t.writesOptimized);
+    EXPECT_TRUE(t.readsOptimized);
+    EXPECT_EQ(t.traffic, Level::High);
+    EXPECT_EQ(t.performance, Level::High);
+    EXPECT_FALSE(t.monotonicReads);
+    EXPECT_FALSE(t.nonStaleReads);
+    EXPECT_EQ(t.intuition, Level::Medium);
+    EXPECT_EQ(t.programmability, Level::Low);
+    EXPECT_EQ(t.implementability, Level::Low);
+}
+
+// Derivation sanity for combinations the paper does not tabulate.
+TEST(Table4, StrictPersistencyAlwaysHighDurability)
+{
+    for (Consistency c : allConsistencies()) {
+        ModelTraits t = traits(c, Persistency::Strict);
+        EXPECT_EQ(t.durability, Level::High) << consistencyName(c);
+        EXPECT_FALSE(t.writesOptimized) << consistencyName(c);
+    }
+}
+
+TEST(Table4, EventualPersistencyNeverMonotonic)
+{
+    for (Consistency c : allConsistencies()) {
+        ModelTraits t = traits(c, Persistency::Eventual);
+        EXPECT_FALSE(t.monotonicReads) << consistencyName(c);
+        EXPECT_EQ(t.durability, Level::Low) << consistencyName(c);
+    }
+}
+
+TEST(Table4, EventualConsistencyNeverNonStale)
+{
+    for (Persistency p : allPersistencies()) {
+        ModelTraits t = traits(Consistency::Eventual, p);
+        EXPECT_FALSE(t.nonStaleReads) << persistencyName(p);
+        EXPECT_FALSE(t.monotonicReads) << persistencyName(p);
+    }
+}

@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Protocol edge cases: decoupled ACK/VAL rounds, scope interactions
+ * with lazy propagation, per-key write queues, transaction logging,
+ * write-pending-queue coalescing, and cache-locality effects.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "ddp/protocol_node.hh"
+#include "net/fabric.hh"
+#include "net/tracer.hh"
+#include "sim/event_queue.hh"
+#include "stats/counter.hh"
+
+using namespace ddp;
+using namespace ddp::core;
+using net::KeyId;
+using net::MsgType;
+using net::NodeId;
+using net::Version;
+using sim::kMicrosecond;
+using sim::kNanosecond;
+
+namespace {
+
+struct EdgeHarness
+{
+    sim::EventQueue eq;
+    net::NetworkParams netp;
+    std::unique_ptr<net::Fabric> fabric;
+    net::MessageTracer tracer;
+    stats::CounterRegistry ctr;
+    XactConflictTable xt;
+    std::vector<std::unique_ptr<ProtocolNode>> nodes;
+
+    explicit EdgeHarness(DdpModel model, std::uint32_t servers = 3)
+    {
+        fabric = std::make_unique<net::Fabric>(eq, netp, servers);
+        fabric->setTracer(&tracer);
+        NodeParams np;
+        np.model = model;
+        np.numNodes = servers;
+        np.keyCount = 64;
+        np.opProcessing = 100 * kNanosecond;
+        np.msgProcessing = 50 * kNanosecond;
+        np.probeCost = 0;
+        for (std::uint32_t n = 0; n < servers; ++n) {
+            nodes.push_back(std::make_unique<ProtocolNode>(
+                eq, *fabric, n, np, ctr, &xt));
+        }
+    }
+
+    OpResult
+    writeAndWait(NodeId node, KeyId key, OpContext ctx = {})
+    {
+        std::optional<OpResult> out;
+        nodes[node]->clientWrite(key, ctx,
+                                 [&](const OpResult &r) { out = r; });
+        while (!out && eq.step()) {
+        }
+        EXPECT_TRUE(out.has_value());
+        return *out;
+    }
+
+    OpResult
+    readAndWait(NodeId node, KeyId key, OpContext ctx = {})
+    {
+        std::optional<OpResult> out;
+        nodes[node]->clientRead(key, ctx,
+                                [&](const OpResult &r) { out = r; });
+        while (!out && eq.step()) {
+        }
+        EXPECT_TRUE(out.has_value());
+        return *out;
+    }
+};
+
+} // namespace
+
+TEST(EdgeRounds, ReadEnforcedSquaredDecouplesConsistencyAndPersistency)
+{
+    EdgeHarness h({Consistency::ReadEnforced,
+                   Persistency::ReadEnforced});
+    h.writeAndWait(0, 5);
+    h.eq.run();
+
+    // The wire protocol used decoupled acknowledgments and both VAL
+    // flavors (Fig. 3(a)-(b)).
+    EXPECT_EQ(h.tracer.countOf(MsgType::AckC), 2u);
+    EXPECT_EQ(h.tracer.countOf(MsgType::AckP), 2u);
+    EXPECT_EQ(h.tracer.countOf(MsgType::ValC), 2u);
+    EXPECT_EQ(h.tracer.countOf(MsgType::ValP), 2u);
+    EXPECT_EQ(h.tracer.countOf(MsgType::Ack), 0u);
+
+    // And every ACK_c was delivered no later than its node's ACK_p.
+    sim::Tick first_ack_p = 0;
+    h.tracer.forEach([&](const net::TraceEntry &e) {
+        if (e.type == MsgType::AckP && first_ack_p == 0)
+            first_ack_p = e.at;
+    });
+    h.tracer.forEach([&](const net::TraceEntry &e) {
+        if (e.type == MsgType::AckC)
+            EXPECT_LE(e.at, first_ack_p);
+    });
+}
+
+TEST(EdgeRounds, CombinedModelsUsePlainAcks)
+{
+    EdgeHarness h({Consistency::Linearizable,
+                   Persistency::Synchronous});
+    h.writeAndWait(0, 5);
+    h.eq.run();
+    EXPECT_EQ(h.tracer.countOf(MsgType::Ack), 2u);
+    EXPECT_EQ(h.tracer.countOf(MsgType::AckC), 0u);
+    EXPECT_EQ(h.tracer.countOf(MsgType::AckP), 0u);
+    EXPECT_EQ(h.tracer.countOf(MsgType::Val), 2u);
+}
+
+TEST(EdgeScope, EventualConsistencyFlushesLazyUpdsBeforePersist)
+{
+    EdgeHarness h({Consistency::Eventual, Persistency::Scope});
+    OpContext ctx;
+    ctx.scopeId = 9;
+    OpResult w = h.writeAndWait(0, 7, ctx);
+
+    // The UPD is still queued lazily; followers know nothing yet.
+    EXPECT_EQ(h.nodes[1]->visibleVersion(7).number, 0u);
+
+    // The scope barrier must flush the queued UPDs first (per-QP
+    // ordering then guarantees followers buffer the writes before the
+    // PERSIST arrives), so after it completes everyone is durable.
+    std::optional<OpResult> done;
+    h.nodes[0]->clientPersistScope(9,
+                                   [&](const OpResult &r) { done = r; });
+    h.eq.run();
+    ASSERT_TRUE(done.has_value());
+    for (auto &n : h.nodes) {
+        EXPECT_EQ(n->visibleVersion(7), w.version);
+        EXPECT_EQ(n->persistedVersion(7), w.version);
+    }
+}
+
+TEST(EdgeScope, ScopesPersistIndependently)
+{
+    EdgeHarness h({Consistency::Linearizable, Persistency::Scope});
+    OpContext s1;
+    s1.scopeId = 1;
+    OpContext s2;
+    s2.scopeId = 2;
+    OpResult w1 = h.writeAndWait(0, 10, s1);
+    OpResult w2 = h.writeAndWait(0, 11, s2);
+    h.eq.run();
+
+    std::optional<OpResult> done;
+    h.nodes[0]->clientPersistScope(1,
+                                   [&](const OpResult &r) { done = r; });
+    h.eq.run();
+    ASSERT_TRUE(done.has_value());
+    // Scope 1's write is durable everywhere; scope 2's is not.
+    for (auto &n : h.nodes) {
+        EXPECT_EQ(n->persistedVersion(10), w1.version);
+        EXPECT_EQ(n->persistedVersion(11).number, 0u);
+    }
+    (void)w2;
+}
+
+TEST(EdgeScope, CausalWritesJoinScopes)
+{
+    EdgeHarness h({Consistency::Causal, Persistency::Scope});
+    OpContext ctx;
+    ctx.scopeId = 3;
+    OpResult w = h.writeAndWait(1, 12, ctx);
+    h.eq.run();
+    EXPECT_EQ(h.nodes[0]->persistedVersion(12).number, 0u);
+
+    std::optional<OpResult> done;
+    h.nodes[1]->clientPersistScope(3,
+                                   [&](const OpResult &r) { done = r; });
+    h.eq.run();
+    ASSERT_TRUE(done.has_value());
+    for (auto &n : h.nodes)
+        EXPECT_EQ(n->persistedVersion(12), w.version);
+}
+
+TEST(EdgeWrites, PerKeyWriteQueueKeepsVersionsOrdered)
+{
+    EdgeHarness h({Consistency::Linearizable,
+                   Persistency::Synchronous});
+    std::vector<OpResult> done;
+    for (int i = 0; i < 3; ++i) {
+        h.nodes[0]->clientWrite(6, {}, [&](const OpResult &r) {
+            done.push_back(r);
+        });
+        // Space issues apart so ordering is deterministic.
+        h.eq.runUntil(h.eq.now() + 300 * kNanosecond);
+    }
+    h.eq.run();
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_LT(done[0].version, done[1].version);
+    EXPECT_LT(done[1].version, done[2].version);
+    for (auto &n : h.nodes)
+        EXPECT_EQ(n->visibleVersion(6), done[2].version);
+}
+
+TEST(EdgeWrites, CoordinatorReadOfOwnWriteStalls)
+{
+    EdgeHarness h({Consistency::Linearizable,
+                   Persistency::Synchronous});
+    std::optional<OpResult> w, r;
+    h.nodes[0]->clientWrite(8, {}, [&](const OpResult &x) { w = x; });
+    h.eq.schedule(300 * kNanosecond, [&] {
+        h.nodes[0]->clientRead(8, {}, [&](const OpResult &x) { r = x; });
+    });
+    h.eq.run();
+    ASSERT_TRUE(w && r);
+    // The read waited for the write round and returned the new value.
+    EXPECT_GE(r->completedAt, w->completedAt);
+    EXPECT_EQ(r->version, w->version);
+}
+
+TEST(EdgeXact, InitXactLogsPersistUnderSynchronous)
+{
+    EdgeHarness h({Consistency::Transactional,
+                   Persistency::Synchronous});
+    std::uint64_t before = h.nodes[1]->nvm().writeCount();
+    std::optional<OpResult> done;
+    h.nodes[0]->clientInitXact(5, [&](const OpResult &r) { done = r; });
+    h.eq.run();
+    ASSERT_TRUE(done.has_value());
+    // Followers persisted the transaction-begin log entry.
+    EXPECT_GT(h.nodes[1]->nvm().writeCount(), before);
+}
+
+TEST(EdgeXact, NonXactReadsSeeOnlyCommittedState)
+{
+    EdgeHarness h({Consistency::Transactional,
+                   Persistency::Synchronous});
+    std::optional<OpResult> step;
+    h.nodes[0]->clientInitXact(6, [&](const OpResult &r) { step = r; });
+    while (!step && h.eq.step()) {
+    }
+    OpContext ctx;
+    ctx.xactId = 6;
+    step.reset();
+    h.nodes[0]->clientWrite(13, ctx,
+                            [&](const OpResult &r) { step = r; });
+    while (!step && h.eq.step()) {
+    }
+    // A different client's read at the same node sees committed state.
+    OpResult other = h.readAndWait(0, 13);
+    EXPECT_EQ(other.version.number, 0u);
+}
+
+TEST(EdgeEventual, StrictOverridesLaziness)
+{
+    EdgeHarness h({Consistency::Eventual, Persistency::Strict});
+    OpResult w = h.writeAndWait(0, 14);
+    // Write completion already required global durability: no 5 us
+    // lazy delay was involved.
+    EXPECT_LT(w.latency(), 4 * kMicrosecond);
+    for (auto &n : h.nodes)
+        EXPECT_EQ(n->persistedVersion(14), w.version);
+}
+
+TEST(EdgeCoalescing, HotKeyPersistsCoalesce)
+{
+    EdgeHarness h({Consistency::Causal, Persistency::Synchronous});
+    // Burst of writes to one key from one coordinator: persists merge
+    // in the write-pending queue instead of serializing the bank.
+    for (int i = 0; i < 10; ++i)
+        h.nodes[0]->clientWrite(15, {}, [](const OpResult &) {});
+    h.eq.run();
+    EXPECT_GT(h.ctr.get("persists_coalesced"), 0u);
+    // The newest version still became durable everywhere.
+    Version final = h.nodes[0]->visibleVersion(15);
+    EXPECT_EQ(final.number, 10u);
+    for (auto &n : h.nodes)
+        EXPECT_EQ(n->persistedVersion(15), final);
+}
+
+TEST(EdgeCache, RepeatLocalAccessGetsFaster)
+{
+    EdgeHarness h({Consistency::Causal, Persistency::Eventual});
+    OpResult first = h.readAndWait(0, 16);
+    h.eq.run();
+    OpResult second = h.readAndWait(0, 16);
+    // First access misses the hierarchy and pays DRAM; the repeat hits.
+    EXPECT_LT(second.latency(), first.latency());
+}
+
+TEST(EdgeCausal, ReadEnforcedPersistencyReadGetsDurableValue)
+{
+    EdgeHarness h({Consistency::Causal, Persistency::ReadEnforced});
+    OpResult w = h.writeAndWait(2, 17);
+    h.eq.run();
+    // Follower read: the latest visible version must be durable at
+    // that follower by read completion (local-wait rule, Fig. 3(d)).
+    bool checked = false;
+    h.nodes[0]->clientRead(17, {}, [&](const OpResult &r) {
+        EXPECT_EQ(r.version, w.version);
+        EXPECT_GE(h.nodes[0]->persistedVersion(17), w.version);
+        checked = true;
+    });
+    h.eq.run();
+    ASSERT_TRUE(checked);
+}
+
+TEST(EdgeAblation, CoalescingOffIssuesEveryPersist)
+{
+    NodeParams base;
+    EdgeHarness on({Consistency::Causal, Persistency::Synchronous});
+    // Build an "off" harness by hand: same model, coalescing disabled.
+    sim::EventQueue eq;
+    net::NetworkParams netp;
+    net::Fabric fabric(eq, netp, 3);
+    stats::CounterRegistry ctr;
+    NodeParams np;
+    np.model = {Consistency::Causal, Persistency::Synchronous};
+    np.numNodes = 3;
+    np.keyCount = 64;
+    np.opProcessing = 100 * kNanosecond;
+    np.msgProcessing = 50 * kNanosecond;
+    np.probeCost = 0;
+    np.persistCoalescing = false;
+    std::vector<std::unique_ptr<ProtocolNode>> nodes;
+    for (std::uint32_t n = 0; n < 3; ++n) {
+        nodes.push_back(std::make_unique<ProtocolNode>(
+            eq, fabric, n, np, ctr, nullptr));
+    }
+
+    for (int i = 0; i < 10; ++i) {
+        on.nodes[0]->clientWrite(15, {}, [](const OpResult &) {});
+        nodes[0]->clientWrite(15, {}, [](const OpResult &) {});
+    }
+    on.eq.run();
+    eq.run();
+    // Without coalescing every request persists individually.
+    EXPECT_GT(ctr.get("persists_issued"),
+              on.ctr.get("persists_issued"));
+    EXPECT_EQ(ctr.get("persists_coalesced"), 0u);
+    // Both modes still reach the same durable state.
+    EXPECT_EQ(nodes[0]->persistedVersion(15).number, 10u);
+    EXPECT_EQ(on.nodes[0]->persistedVersion(15).number, 10u);
+}
+
+TEST(EdgeAblation, DurableGatingOffAppliesEagerly)
+{
+    sim::EventQueue eq;
+    net::NetworkParams netp;
+    net::Fabric fabric(eq, netp, 3);
+    stats::CounterRegistry ctr;
+    NodeParams np;
+    np.model = {Consistency::Causal, Persistency::Synchronous};
+    np.numNodes = 3;
+    np.keyCount = 64;
+    np.opProcessing = 100 * kNanosecond;
+    np.msgProcessing = 50 * kNanosecond;
+    np.probeCost = 0;
+    np.causalDurableGating = false;
+    std::vector<std::unique_ptr<ProtocolNode>> nodes;
+    for (std::uint32_t n = 0; n < 3; ++n) {
+        nodes.push_back(std::make_unique<ProtocolNode>(
+            eq, fabric, n, np, ctr, nullptr));
+    }
+    // Chained writes from one node: without durable gating the
+    // followers apply them without waiting for prior persists.
+    for (int i = 0; i < 20; ++i)
+        nodes[0]->clientWrite(static_cast<KeyId>(i), {},
+                              [](const OpResult &) {});
+    eq.run();
+    EXPECT_EQ(ctr.get("causal_buffered"), 0u);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(nodes[1]->visibleVersion(
+                      static_cast<KeyId>(i)).number, 1u);
+}

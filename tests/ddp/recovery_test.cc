@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the message-driven voting recovery (ddp/recovery.hh):
+ * packing, protocol correctness on a small harness, emergence of
+ * recovery time from network timing, and the paper's Sec. 9 claim that
+ * weaker DDP models need a more expensive recovery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "cluster/cluster.hh"
+#include "ddp/protocol_node.hh"
+#include "ddp/recovery.hh"
+#include "net/fabric.hh"
+#include "net/tracer.hh"
+#include "sim/event_queue.hh"
+#include "stats/counter.hh"
+
+using namespace ddp;
+using namespace ddp::core;
+using net::KeyId;
+using net::MsgType;
+using net::NodeId;
+using net::Version;
+using sim::kMicrosecond;
+using sim::kNanosecond;
+
+TEST(RecoveryPacking, RoundTrips)
+{
+    for (std::uint64_t num : {0ull, 1ull, 77ull, 1ull << 40}) {
+        for (NodeId w : {0u, 3u, 255u}) {
+            Version v{num, w};
+            EXPECT_EQ(RecoveryAgent::unpack(RecoveryAgent::pack(v)), v);
+        }
+    }
+}
+
+namespace {
+
+struct RecoveryHarness
+{
+    sim::EventQueue eq;
+    net::NetworkParams netp;
+    std::unique_ptr<net::Fabric> fabric;
+    net::MessageTracer tracer;
+    stats::CounterRegistry ctr;
+    std::vector<std::unique_ptr<ProtocolNode>> nodes;
+
+    explicit RecoveryHarness(DdpModel model, std::uint32_t servers = 3,
+                             std::uint64_t keys = 64)
+    {
+        fabric = std::make_unique<net::Fabric>(eq, netp, servers);
+        fabric->setTracer(&tracer);
+        NodeParams np;
+        np.model = model;
+        np.numNodes = servers;
+        np.keyCount = keys;
+        np.opProcessing = 100 * kNanosecond;
+        np.msgProcessing = 50 * kNanosecond;
+        np.probeCost = 0;
+        for (std::uint32_t n = 0; n < servers; ++n) {
+            nodes.push_back(std::make_unique<ProtocolNode>(
+                eq, *fabric, n, np, ctr, nullptr));
+        }
+    }
+};
+
+} // namespace
+
+TEST(SimulatedRecovery, InstallsClusterMaximumEverywhere)
+{
+    RecoveryHarness h({Consistency::Causal, Persistency::Synchronous});
+    // Create divergent durable state directly.
+    h.nodes[0]->installRecovered(5, Version{3, 0});
+    h.nodes[1]->installRecovered(5, Version{7, 1});
+    h.nodes[2]->installRecovered(9, Version{2, 2});
+
+    for (auto &n : h.nodes)
+        n->crashVolatile();
+
+    std::optional<RecoveryReport> report;
+    h.nodes[0]->recoveryAgent().startCoordinator(
+        64, 16, [&](const RecoveryReport &r) { report = r; });
+    h.eq.run();
+
+    ASSERT_TRUE(report.has_value());
+    EXPECT_EQ(report->keysInstalled, 2u);
+    EXPECT_GE(report->divergentKeys, 2u); // keys 5 and 9 disagreed
+    EXPECT_EQ(report->batches, 4u);       // 64 keys / 16
+    for (auto &n : h.nodes) {
+        EXPECT_EQ(n->visibleVersion(5), (Version{7, 1}));
+        EXPECT_EQ(n->persistedVersion(5), (Version{7, 1}));
+        EXPECT_EQ(n->visibleVersion(9), (Version{2, 2}));
+    }
+}
+
+TEST(SimulatedRecovery, AgreementSkipsInstallRound)
+{
+    RecoveryHarness h({Consistency::Linearizable,
+                       Persistency::Synchronous});
+    // Identical durable state everywhere.
+    for (auto &n : h.nodes)
+        n->installRecovered(3, Version{4, 0});
+    for (auto &n : h.nodes)
+        n->crashVolatile();
+
+    std::optional<RecoveryReport> report;
+    h.nodes[0]->recoveryAgent().startCoordinator(
+        64, 64, [&](const RecoveryReport &r) { report = r; });
+    h.eq.run();
+
+    ASSERT_TRUE(report.has_value());
+    EXPECT_EQ(report->divergentKeys, 0u);
+    EXPECT_EQ(h.tracer.countOf(MsgType::RecQuery), 2u);
+    EXPECT_EQ(h.tracer.countOf(MsgType::RecSummary), 2u);
+    EXPECT_EQ(h.tracer.countOf(MsgType::RecInstall), 0u);
+    EXPECT_EQ(h.tracer.countOf(MsgType::RecAck), 0u);
+}
+
+TEST(SimulatedRecovery, DurationEmergesFromNetworkTiming)
+{
+    RecoveryHarness h({Consistency::Linearizable,
+                       Persistency::Synchronous});
+    for (auto &n : h.nodes)
+        n->crashVolatile();
+    std::optional<RecoveryReport> report;
+    h.nodes[0]->recoveryAgent().startCoordinator(
+        64, 16, [&](const RecoveryReport &r) { report = r; });
+    h.eq.run();
+    ASSERT_TRUE(report.has_value());
+    // At least one query/summary round trip, at most a handful.
+    EXPECT_GE(report->duration(), h.netp.roundTrip);
+    EXPECT_LT(report->duration(), 10 * h.netp.roundTrip);
+}
+
+TEST(SimulatedRecovery, MoreDivergenceCostsMoreTime)
+{
+    RecoveryHarness agree({Consistency::Linearizable,
+                           Persistency::Synchronous},
+                          3, 256);
+    RecoveryHarness diverged({Consistency::Linearizable,
+                              Persistency::Synchronous},
+                             3, 256);
+    for (KeyId k = 0; k < 256; ++k) {
+        // Same versions everywhere in 'agree'...
+        for (auto &n : agree.nodes)
+            n->installRecovered(k, Version{5, 0});
+        // ...but node-specific versions in 'diverged'.
+        for (NodeId nid = 0; nid < 3; ++nid) {
+            diverged.nodes[nid]->installRecovered(
+                k, Version{5 + nid, nid});
+        }
+    }
+    for (auto &n : agree.nodes)
+        n->crashVolatile();
+    for (auto &n : diverged.nodes)
+        n->crashVolatile();
+
+    std::optional<RecoveryReport> ra, rd;
+    agree.nodes[0]->recoveryAgent().startCoordinator(
+        256, 64, [&](const RecoveryReport &r) { ra = r; });
+    diverged.nodes[0]->recoveryAgent().startCoordinator(
+        256, 64, [&](const RecoveryReport &r) { rd = r; });
+    agree.eq.run();
+    diverged.eq.run();
+
+    ASSERT_TRUE(ra && rd);
+    EXPECT_EQ(ra->divergentKeys, 0u);
+    EXPECT_EQ(rd->divergentKeys, 256u);
+    // The install+ack rounds make divergent recovery slower: this is
+    // the paper's "recovery complexity is higher in the weaker models".
+    EXPECT_GT(rd->duration(), ra->duration());
+}
+
+// --------------------------------------------------------------------------
+// Cluster integration
+// --------------------------------------------------------------------------
+
+namespace {
+
+cluster::RunResult
+runSimRecovery(Consistency c, Persistency p,
+               cluster::RecoveryStats &out_rs)
+{
+    cluster::ClusterConfig cfg;
+    cfg.model = {c, p};
+    cfg.numServers = 3;
+    cfg.clientsPerServer = 4;
+    cfg.keyCount = 2000;
+    cfg.workload = workload::WorkloadSpec::ycsbA(2000);
+    cfg.warmup = 200 * sim::kMicrosecond;
+    cfg.measure = 500 * sim::kMicrosecond;
+    cfg.recovery = cluster::RecoveryPolicy::SimulatedVoting;
+    cfg.recoveryBatch = 256;
+    cfg.seed = 7;
+    cluster::Cluster cl(cfg);
+    cl.scheduleCrash(cfg.warmup + cfg.measure / 2);
+    cluster::RunResult r = cl.run();
+    if (!cl.recoveries().empty())
+        out_rs = cl.recoveries()[0];
+    return r;
+}
+
+} // namespace
+
+TEST(SimulatedRecovery, ClusterResumesAfterProtocolFinishes)
+{
+    cluster::RecoveryStats rs;
+    cluster::RunResult r = runSimRecovery(
+        Consistency::Causal, Persistency::Synchronous, rs);
+    EXPECT_GT(r.reads + r.writes, 1000u);
+    EXPECT_GT(rs.keysInstalled, 0u);
+    EXPECT_GT(rs.recoveryTime, 0u);
+}
+
+TEST(SimulatedRecovery, WeakerModelsRecoverSlower)
+{
+    // Paper Sec. 9: strict models recover simply (all nodes share the
+    // same persistent view); weak ones pay for reconciliation.
+    cluster::RecoveryStats strict_rs, weak_rs;
+    runSimRecovery(Consistency::Linearizable, Persistency::Synchronous,
+                   strict_rs);
+    runSimRecovery(Consistency::Eventual, Persistency::Eventual,
+                   weak_rs);
+    // The weak model's NVM images disagree on far more keys. (Total
+    // recovery time converges once most batches need an install round
+    // either way — the controlled unit test above isolates the time
+    // effect.)
+    EXPECT_GT(weak_rs.divergentKeys, strict_rs.divergentKeys * 3);
+}

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Tests for partial replication: replica placement, protocol rounds
+ * restricted to replica sets, routing, and the consistency models
+ * that refuse to run partially replicated.
+ */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "cluster/cluster.hh"
+#include "ddp/protocol_node.hh"
+#include "ddp/replication.hh"
+#include "net/fabric.hh"
+#include "sim/event_queue.hh"
+#include "stats/counter.hh"
+
+using namespace ddp;
+using namespace ddp::core;
+using net::KeyId;
+using net::NodeId;
+
+// --------------------------------------------------------------------------
+// ReplicaMap
+// --------------------------------------------------------------------------
+
+TEST(ReplicaMap, FullReplicationCoversEveryone)
+{
+    ReplicaMap m(5, 0);
+    EXPECT_TRUE(m.full());
+    EXPECT_EQ(m.factor(), 5u);
+    for (KeyId k = 0; k < 100; ++k) {
+        for (NodeId n = 0; n < 5; ++n)
+            EXPECT_TRUE(m.isReplica(k, n));
+        EXPECT_EQ(m.followerCount(k), 4u);
+    }
+}
+
+TEST(ReplicaMap, PartialSetsHaveExactlyFactorMembers)
+{
+    ReplicaMap m(5, 3);
+    for (KeyId k = 0; k < 200; ++k) {
+        int members = 0;
+        for (NodeId n = 0; n < 5; ++n) {
+            if (m.isReplica(k, n))
+                ++members;
+        }
+        EXPECT_EQ(members, 3) << "key " << k;
+        EXPECT_EQ(m.followerCount(k), 2u);
+    }
+}
+
+TEST(ReplicaMap, ReplicaEnumerationMatchesMembership)
+{
+    ReplicaMap m(5, 2);
+    for (KeyId k = 0; k < 200; ++k) {
+        for (std::uint32_t i = 0; i < m.factor(); ++i)
+            EXPECT_TRUE(m.isReplica(k, m.replica(k, i)));
+    }
+}
+
+TEST(ReplicaMap, PlacementSpreadsAcrossNodes)
+{
+    ReplicaMap m(5, 2);
+    int homes[5] = {0, 0, 0, 0, 0};
+    for (KeyId k = 0; k < 5000; ++k)
+        homes[m.home(k)]++;
+    for (int n = 0; n < 5; ++n)
+        EXPECT_GT(homes[n], 600) << "node " << n;
+}
+
+TEST(ReplicaMap, CoordinatorIsAlwaysAReplica)
+{
+    ReplicaMap m(5, 3);
+    for (KeyId k = 0; k < 100; ++k) {
+        for (std::uint32_t c = 0; c < 17; ++c)
+            EXPECT_TRUE(m.isReplica(k, m.coordinatorFor(k, c)));
+    }
+}
+
+// --------------------------------------------------------------------------
+// Protocol with partial replication
+// --------------------------------------------------------------------------
+
+namespace {
+
+struct PartialHarness
+{
+    sim::EventQueue eq;
+    net::NetworkParams netp;
+    std::unique_ptr<net::Fabric> fabric;
+    stats::CounterRegistry ctr;
+    std::vector<std::unique_ptr<ProtocolNode>> nodes;
+    ReplicaMap rmap;
+
+    PartialHarness(DdpModel model, std::uint32_t servers,
+                   std::uint32_t factor)
+        : rmap(servers, factor)
+    {
+        fabric = std::make_unique<net::Fabric>(eq, netp, servers);
+        NodeParams np;
+        np.model = model;
+        np.numNodes = servers;
+        np.replicationFactor = factor;
+        np.keyCount = 64;
+        np.opProcessing = 100 * sim::kNanosecond;
+        np.msgProcessing = 50 * sim::kNanosecond;
+        np.probeCost = 0;
+        for (std::uint32_t n = 0; n < servers; ++n) {
+            nodes.push_back(std::make_unique<ProtocolNode>(
+                eq, *fabric, n, np, ctr, nullptr));
+        }
+    }
+
+    OpResult
+    writeAndWait(NodeId node, KeyId key)
+    {
+        std::optional<OpResult> out;
+        nodes[node]->clientWrite(key, {},
+                                 [&](const OpResult &r) { out = r; });
+        while (!out && eq.step()) {
+        }
+        EXPECT_TRUE(out.has_value());
+        return *out;
+    }
+};
+
+} // namespace
+
+TEST(PartialReplication, WriteReachesOnlyReplicaSet)
+{
+    PartialHarness h({Consistency::Linearizable,
+                      Persistency::Synchronous},
+                     5, 3);
+    KeyId key = 7;
+    NodeId coord = h.rmap.replica(key, 0);
+    OpResult w = h.writeAndWait(coord, key);
+    h.eq.run();
+    for (NodeId n = 0; n < 5; ++n) {
+        if (h.rmap.isReplica(key, n)) {
+            EXPECT_EQ(h.nodes[n]->visibleVersion(key), w.version)
+                << "replica " << n;
+            EXPECT_EQ(h.nodes[n]->persistedVersion(key), w.version);
+        } else {
+            EXPECT_EQ(h.nodes[n]->visibleVersion(key).number, 0u)
+                << "non-replica " << n;
+            EXPECT_EQ(h.nodes[n]->persistedVersion(key).number, 0u);
+        }
+    }
+}
+
+TEST(PartialReplication, RoundNeedsOnlyReplicaAcks)
+{
+    PartialHarness full({Consistency::Linearizable,
+                         Persistency::Synchronous},
+                        5, 0);
+    PartialHarness part({Consistency::Linearizable,
+                         Persistency::Synchronous},
+                        5, 2);
+    KeyId key = 7;
+    full.writeAndWait(full.rmap.replica(key, 0), key);
+    part.writeAndWait(part.rmap.replica(key, 0), key);
+    full.eq.run();
+    part.eq.run();
+    // 2-replica round: 1 INV + 1 ACK + 1 VAL vs 4 of each.
+    EXPECT_EQ(part.fabric->totalMessages(), 3u);
+    EXPECT_EQ(full.fabric->totalMessages(), 12u);
+}
+
+TEST(PartialReplication, EventualConsistencyMulticastsLazily)
+{
+    PartialHarness h({Consistency::Eventual, Persistency::Eventual}, 5,
+                     2);
+    KeyId key = 9;
+    NodeId coord = h.rmap.replica(key, 0);
+    OpResult w = h.writeAndWait(coord, key);
+    h.eq.run();
+    NodeId other = h.rmap.replica(key, 1);
+    EXPECT_EQ(h.nodes[other]->visibleVersion(key), w.version);
+    EXPECT_EQ(h.fabric->totalMessages(), 1u); // one lazy UPD
+}
+
+TEST(PartialReplication, CausalConsistencyRejected)
+{
+    EXPECT_THROW(PartialHarness({Consistency::Causal,
+                                 Persistency::Synchronous},
+                                5, 3),
+                 std::invalid_argument);
+}
+
+TEST(PartialReplication, TransactionalConsistencyRejected)
+{
+    EXPECT_THROW(PartialHarness({Consistency::Transactional,
+                                 Persistency::Synchronous},
+                                5, 3),
+                 std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+// Cluster integration
+// --------------------------------------------------------------------------
+
+namespace {
+
+cluster::ClusterConfig
+partialConfig(DdpModel m, std::uint32_t factor)
+{
+    cluster::ClusterConfig c;
+    c.model = m;
+    c.numServers = 5;
+    c.clientsPerServer = 4;
+    c.replicationFactor = factor;
+    c.keyCount = 2000;
+    c.workload = workload::WorkloadSpec::ycsbA(2000);
+    c.warmup = 200 * sim::kMicrosecond;
+    c.measure = 500 * sim::kMicrosecond;
+    c.seed = 7;
+    return c;
+}
+
+} // namespace
+
+TEST(PartialReplication, ClusterRunsAndReducesTraffic)
+{
+    cluster::Cluster full(partialConfig(
+        {Consistency::Linearizable, Persistency::Synchronous}, 0));
+    cluster::Cluster part(partialConfig(
+        {Consistency::Linearizable, Persistency::Synchronous}, 3));
+    cluster::RunResult rf = full.run();
+    cluster::RunResult rp = part.run();
+    EXPECT_GT(rp.throughput, 0.0);
+    // Fewer replicas -> fewer protocol messages per write.
+    double full_mpw = static_cast<double>(rf.messages) /
+                      static_cast<double>(rf.writes);
+    double part_mpw = static_cast<double>(rp.messages) /
+                      static_cast<double>(rp.writes);
+    EXPECT_LT(part_mpw, full_mpw * 0.7);
+}
+
+TEST(PartialReplication, CrashRecoveryStaysWithinReplicaSets)
+{
+    core::PropertyChecker pc;
+    cluster::ClusterConfig cfg = partialConfig(
+        {Consistency::Linearizable, Persistency::Synchronous}, 3);
+    cluster::Cluster c(cfg);
+    c.setChecker(&pc);
+    c.scheduleCrash(cfg.warmup + cfg.measure / 2);
+    cluster::RunResult r = c.run();
+    // <Linearizable, Synchronous> still loses nothing with 3 replicas.
+    EXPECT_EQ(r.lostAckedWriteKeys, 0u);
+    EXPECT_EQ(r.monotonicViolations, 0u);
+}
+
+TEST(PartialReplication, ReadEnforcedPersistencyStillGlobal)
+{
+    cluster::Cluster c(partialConfig(
+        {Consistency::Linearizable, Persistency::ReadEnforced}, 2));
+    cluster::RunResult r = c.run();
+    EXPECT_GT(r.reads + r.writes, 1000u);
+    EXPECT_GT(r.readsStalledPersist, 0u);
+}

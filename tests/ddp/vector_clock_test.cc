@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for vector clocks and the transaction conflict table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ddp/vector_clock.hh"
+#include "ddp/xact_table.hh"
+#include "sim/ticks.hh"
+
+using namespace ddp::core;
+using ddp::sim::kMicrosecond;
+
+TEST(VectorClock, DefaultDominatesItself)
+{
+    VectorClock a(3), b(3);
+    EXPECT_TRUE(a.dominates(b));
+    EXPECT_TRUE(b.dominates(a));
+}
+
+TEST(VectorClock, DominanceIsComponentWise)
+{
+    VectorClock a(3), b(3);
+    a[0] = 5;
+    a[1] = 2;
+    b[0] = 4;
+    b[1] = 2;
+    EXPECT_TRUE(a.dominates(b));
+    EXPECT_FALSE(b.dominates(a));
+    b[2] = 1;
+    EXPECT_FALSE(a.dominates(b)); // incomparable now
+    EXPECT_FALSE(b.dominates(a));
+}
+
+TEST(VectorClock, MergeTakesMax)
+{
+    VectorClock a(3), b(3);
+    a[0] = 5;
+    b[1] = 7;
+    a.mergeFrom(b);
+    EXPECT_EQ(a[0], 5u);
+    EXPECT_EQ(a[1], 7u);
+    EXPECT_TRUE(a.dominates(b));
+}
+
+TEST(VectorClock, RawRoundTrip)
+{
+    VectorClock a(4);
+    a[2] = 9;
+    VectorClock b = VectorClock::fromRaw(a.raw());
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(b.size(), 4u);
+}
+
+TEST(XactTable, NoConflictOnDistinctKeys)
+{
+    XactConflictTable t;
+    t.begin(1);
+    t.begin(2);
+    EXPECT_FALSE(t.accessConflicts(1, 10, true, 0, kMicrosecond));
+    EXPECT_FALSE(t.accessConflicts(2, 20, true, 0, kMicrosecond));
+    EXPECT_EQ(t.conflictCount(), 0u);
+}
+
+TEST(XactTable, WriteWriteConflicts)
+{
+    XactConflictTable t;
+    t.begin(1);
+    t.begin(2);
+    EXPECT_FALSE(t.accessConflicts(1, 10, true, 100, kMicrosecond));
+    EXPECT_TRUE(t.accessConflicts(2, 10, true, 200, kMicrosecond));
+    EXPECT_EQ(t.conflictCount(), 1u);
+}
+
+TEST(XactTable, ReadWriteConflicts)
+{
+    XactConflictTable t;
+    t.begin(1);
+    t.begin(2);
+    EXPECT_FALSE(t.accessConflicts(1, 10, true, 100, kMicrosecond));
+    EXPECT_TRUE(t.accessConflicts(2, 10, false, 200, kMicrosecond));
+}
+
+TEST(XactTable, WriteAfterReadConflicts)
+{
+    XactConflictTable t;
+    t.begin(1);
+    t.begin(2);
+    EXPECT_FALSE(t.accessConflicts(1, 10, false, 100, kMicrosecond));
+    EXPECT_TRUE(t.accessConflicts(2, 10, true, 200, kMicrosecond));
+}
+
+TEST(XactTable, ReadReadDoesNotConflict)
+{
+    XactConflictTable t;
+    t.begin(1);
+    t.begin(2);
+    EXPECT_FALSE(t.accessConflicts(1, 10, false, 100, kMicrosecond));
+    EXPECT_FALSE(t.accessConflicts(2, 10, false, 200, kMicrosecond));
+}
+
+TEST(XactTable, AccessesAgeOutOfWindow)
+{
+    XactConflictTable t;
+    t.begin(1);
+    t.begin(2);
+    EXPECT_FALSE(t.accessConflicts(1, 10, true, 0, kMicrosecond));
+    // Three microseconds later the INV round has drained.
+    EXPECT_FALSE(
+        t.accessConflicts(2, 10, true, 3 * kMicrosecond, kMicrosecond));
+}
+
+TEST(XactTable, SelfAccessesNeverConflict)
+{
+    XactConflictTable t;
+    t.begin(1);
+    EXPECT_FALSE(t.accessConflicts(1, 10, true, 0, kMicrosecond));
+    EXPECT_FALSE(t.accessConflicts(1, 10, true, 1, kMicrosecond));
+    EXPECT_FALSE(t.accessConflicts(1, 10, false, 2, kMicrosecond));
+}
+
+TEST(XactTable, EndRemovesClaims)
+{
+    XactConflictTable t;
+    t.begin(1);
+    t.begin(2);
+    EXPECT_FALSE(t.accessConflicts(1, 10, true, 100, kMicrosecond));
+    t.end(1);
+    EXPECT_FALSE(t.accessConflicts(2, 10, true, 150, kMicrosecond));
+    EXPECT_EQ(t.activeCount(), 1u);
+}
+
+TEST(XactTable, ConflictingAccessIsNotRecorded)
+{
+    XactConflictTable t;
+    t.begin(1);
+    t.begin(2);
+    t.begin(3);
+    EXPECT_FALSE(t.accessConflicts(1, 10, true, 100, kMicrosecond));
+    // Xact 2 conflicts; its stalled access must not poison xact 3
+    // after xact 1's claim has aged out.
+    EXPECT_TRUE(t.accessConflicts(2, 10, true, 200, kMicrosecond));
+    EXPECT_FALSE(t.accessConflicts(
+        3, 10, true, 100 + 2 * kMicrosecond, kMicrosecond));
+}
+
+TEST(XactTable, ClearResetsEverything)
+{
+    XactConflictTable t;
+    t.begin(1);
+    t.accessConflicts(1, 5, true, 0, kMicrosecond);
+    t.clear();
+    EXPECT_EQ(t.activeCount(), 0u);
+    EXPECT_EQ(t.conflictCount(), 0u);
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for the byte-string blob store with slab-class
+ * allocation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "kv/blob_store.hh"
+#include "sim/random.hh"
+
+using namespace ddp::kv;
+
+TEST(BlobStore, PutGetRoundTrip)
+{
+    BlobStore s;
+    ASSERT_TRUE(s.put(1, "hello"));
+    std::string out;
+    ASSERT_TRUE(s.get(1, out));
+    EXPECT_EQ(out, "hello");
+    EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(BlobStore, MissingKeyMisses)
+{
+    BlobStore s;
+    std::string out;
+    EXPECT_FALSE(s.get(42, out));
+    EXPECT_FALSE(s.erase(42));
+}
+
+TEST(BlobStore, BinarySafeValues)
+{
+    BlobStore s;
+    std::string value("\x00\x01\xff payload \x00 tail", 20);
+    ASSERT_TRUE(s.put(9, value));
+    std::string out;
+    ASSERT_TRUE(s.get(9, out));
+    EXPECT_EQ(out, value);
+    EXPECT_EQ(out.size(), 20u);
+}
+
+TEST(BlobStore, OverwriteSameClassReusesChunk)
+{
+    BlobStore s;
+    s.put(1, std::string(40, 'a'));
+    std::size_t alloc = s.allocatedBytes();
+    s.put(1, std::string(50, 'b')); // same 64 B class
+    EXPECT_EQ(s.allocatedBytes(), alloc);
+    std::string out;
+    s.get(1, out);
+    EXPECT_EQ(out, std::string(50, 'b'));
+}
+
+TEST(BlobStore, OverwriteAcrossClassesMovesChunk)
+{
+    BlobStore s;
+    s.put(1, std::string(40, 'a'));      // 64 B class
+    s.put(1, std::string(100, 'b'));     // 128 B class
+    std::string out;
+    ASSERT_TRUE(s.get(1, out));
+    EXPECT_EQ(out.size(), 100u);
+    EXPECT_EQ(s.size(), 1u);
+    // The freed 64 B chunk is recycled for the next small value.
+    std::size_t alloc = s.allocatedBytes();
+    s.put(2, "tiny");
+    EXPECT_EQ(s.allocatedBytes(), alloc);
+}
+
+TEST(BlobStore, EraseRecyclesChunks)
+{
+    BlobStore s;
+    s.put(1, std::string(30, 'x'));
+    std::size_t alloc = s.allocatedBytes();
+    ASSERT_TRUE(s.erase(1));
+    EXPECT_EQ(s.size(), 0u);
+    EXPECT_EQ(s.valueBytes(), 0u);
+    s.put(2, std::string(30, 'y'));
+    EXPECT_EQ(s.allocatedBytes(), alloc); // reused, not grown
+}
+
+TEST(BlobStore, RejectsOversizedValues)
+{
+    BlobStore s(256);
+    EXPECT_FALSE(s.put(1, std::string(300, 'x')));
+    EXPECT_EQ(s.size(), 0u);
+    EXPECT_TRUE(s.put(1, std::string(256, 'x')));
+}
+
+TEST(BlobStore, AppendGrowsValue)
+{
+    BlobStore s;
+    s.put(1, "foo");
+    ASSERT_TRUE(s.append(1, "bar"));
+    std::string out;
+    s.get(1, out);
+    EXPECT_EQ(out, "foobar");
+    EXPECT_FALSE(s.append(2, "x")); // absent key
+}
+
+TEST(BlobStore, AccountingTracksBytes)
+{
+    BlobStore s;
+    s.put(1, std::string(10, 'a'));
+    s.put(2, std::string(100, 'b'));
+    EXPECT_EQ(s.valueBytes(), 110u);
+    EXPECT_EQ(s.allocatedBytes(), 64u + 128u);
+    EXPECT_GE(s.slabClasses(), 2u);
+}
+
+TEST(BlobStore, ClearResetsEverything)
+{
+    BlobStore s;
+    for (KeyId k = 0; k < 50; ++k)
+        s.put(k, std::string(20, 'z'));
+    s.clear();
+    EXPECT_EQ(s.size(), 0u);
+    EXPECT_EQ(s.allocatedBytes(), 0u);
+    std::string out;
+    EXPECT_FALSE(s.get(0, out));
+    EXPECT_TRUE(s.put(0, "again"));
+}
+
+TEST(BlobStore, DifferentialAgainstStdMap)
+{
+    BlobStore s;
+    std::map<KeyId, std::string> ref;
+    ddp::sim::Pcg32 rng(777, 1);
+    for (int i = 0; i < 20000; ++i) {
+        KeyId key = rng.nextBounded(500);
+        switch (rng.nextBounded(4)) {
+          case 0:
+          case 1: {
+            std::string value(rng.nextBounded(200) + 1,
+                              static_cast<char>('a' + (i % 26)));
+            ASSERT_TRUE(s.put(key, value));
+            ref[key] = value;
+            break;
+          }
+          case 2: {
+            std::string got;
+            bool have = s.get(key, got);
+            auto it = ref.find(key);
+            ASSERT_EQ(have, it != ref.end()) << "iter " << i;
+            if (have) {
+                ASSERT_EQ(got, it->second) << "iter " << i;
+            }
+            break;
+          }
+          case 3:
+            ASSERT_EQ(s.erase(key), ref.erase(key) > 0) << "iter " << i;
+            break;
+        }
+    }
+    EXPECT_EQ(s.size(), ref.size());
+}

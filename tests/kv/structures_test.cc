@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Structure-specific tests: B-tree / B+ tree invariants, skip-list
+ * range scans, robin-hood deletion behaviour, slab-LRU eviction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "kv/bplus_tree.hh"
+#include "kv/btree.hh"
+#include "kv/hash_table.hh"
+#include "kv/skip_list.hh"
+#include "kv/slab_lru.hh"
+#include "sim/random.hh"
+
+using namespace ddp::kv;
+
+// --------------------------------------------------------------------------
+// B-tree
+// --------------------------------------------------------------------------
+
+TEST(BTree, ValidAfterSequentialInserts)
+{
+    BTree t;
+    for (KeyId k = 0; k < 5000; ++k) {
+        t.put(k, k);
+        if (k % 512 == 0) {
+            ASSERT_TRUE(t.validate()) << "at key " << k;
+        }
+    }
+    EXPECT_TRUE(t.validate());
+    EXPECT_EQ(t.size(), 5000u);
+    EXPECT_GT(t.height(), 1);
+}
+
+TEST(BTree, ValidAfterReverseInserts)
+{
+    BTree t;
+    for (KeyId k = 5000; k > 0; --k)
+        t.put(k, k);
+    EXPECT_TRUE(t.validate());
+    EXPECT_EQ(t.size(), 5000u);
+}
+
+TEST(BTree, EraseFromLeafAndInternal)
+{
+    BTree t;
+    for (KeyId k = 0; k < 1000; ++k)
+        t.put(k, k);
+    // Delete every third key; exercises borrow and merge paths.
+    for (KeyId k = 0; k < 1000; k += 3) {
+        ASSERT_TRUE(t.erase(k)) << "key " << k;
+        ASSERT_TRUE(t.validate()) << "key " << k;
+    }
+    Value v;
+    EXPECT_FALSE(t.get(0, v));
+    EXPECT_TRUE(t.get(1, v));
+}
+
+TEST(BTree, DrainCompletely)
+{
+    BTree t;
+    for (KeyId k = 0; k < 800; ++k)
+        t.put(k, k);
+    for (KeyId k = 0; k < 800; ++k) {
+        ASSERT_TRUE(t.erase(k));
+        if (k % 97 == 0) {
+            ASSERT_TRUE(t.validate());
+        }
+    }
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_TRUE(t.validate());
+    EXPECT_EQ(t.height(), 1);
+}
+
+TEST(BTree, RandomizedOpsStayValid)
+{
+    BTree t;
+    ddp::sim::Pcg32 rng(31337, 1);
+    std::set<KeyId> ref;
+    for (int i = 0; i < 20000; ++i) {
+        KeyId key = rng.nextBounded(2000);
+        if (rng.nextBounded(3) != 0) {
+            t.put(key, key);
+            ref.insert(key);
+        } else {
+            bool removed = t.erase(key);
+            ASSERT_EQ(removed, ref.erase(key) > 0) << "iter " << i;
+        }
+        if (i % 1024 == 0) {
+            ASSERT_TRUE(t.validate()) << "iter " << i;
+        }
+    }
+    ASSERT_TRUE(t.validate());
+    EXPECT_EQ(t.size(), ref.size());
+}
+
+// --------------------------------------------------------------------------
+// B+ tree
+// --------------------------------------------------------------------------
+
+TEST(BPlusTree, ValidAfterInserts)
+{
+    BPlusTree t;
+    for (KeyId k = 0; k < 5000; ++k)
+        t.put(k, k * 2);
+    EXPECT_TRUE(t.validate());
+    EXPECT_GT(t.height(), 1);
+}
+
+TEST(BPlusTree, RangeScanOrderedAndComplete)
+{
+    BPlusTree t;
+    for (KeyId k = 0; k < 1000; k += 2)
+        t.put(k, k);
+    std::vector<KeyId> seen;
+    std::size_t n = t.rangeScan(100, 199, [&](KeyId k, Value v) {
+        EXPECT_EQ(v, k);
+        seen.push_back(k);
+    });
+    EXPECT_EQ(n, 50u); // 100,102,...,198
+    for (std::size_t i = 1; i < seen.size(); ++i)
+        EXPECT_LT(seen[i - 1], seen[i]);
+    EXPECT_EQ(seen.front(), 100u);
+    EXPECT_EQ(seen.back(), 198u);
+}
+
+TEST(BPlusTree, RangeScanEmptyRange)
+{
+    BPlusTree t;
+    t.put(10, 1);
+    EXPECT_EQ(t.rangeScan(20, 30, [](KeyId, Value) {}), 0u);
+}
+
+TEST(BPlusTree, EraseKeepsLeafChain)
+{
+    BPlusTree t;
+    for (KeyId k = 0; k < 2000; ++k)
+        t.put(k, k);
+    for (KeyId k = 0; k < 2000; k += 2) {
+        ASSERT_TRUE(t.erase(k));
+        if (k % 256 == 0) {
+            ASSERT_TRUE(t.validate()) << "key " << k;
+        }
+    }
+    ASSERT_TRUE(t.validate());
+    // Scan sees exactly the odd keys in order.
+    KeyId expect = 1;
+    t.rangeScan(0, 2000, [&](KeyId k, Value) {
+        EXPECT_EQ(k, expect);
+        expect += 2;
+    });
+}
+
+TEST(BPlusTree, RandomizedOpsStayValid)
+{
+    BPlusTree t;
+    ddp::sim::Pcg32 rng(99, 2);
+    std::set<KeyId> ref;
+    for (int i = 0; i < 20000; ++i) {
+        KeyId key = rng.nextBounded(2500);
+        if (rng.nextBounded(3) != 0) {
+            t.put(key, key);
+            ref.insert(key);
+        } else {
+            bool removed = t.erase(key);
+            ASSERT_EQ(removed, ref.erase(key) > 0) << "iter " << i;
+        }
+        if (i % 1024 == 0) {
+            ASSERT_TRUE(t.validate()) << "iter " << i;
+        }
+    }
+    ASSERT_TRUE(t.validate());
+    EXPECT_EQ(t.size(), ref.size());
+}
+
+TEST(BPlusTree, DrainCompletely)
+{
+    BPlusTree t;
+    for (KeyId k = 0; k < 600; ++k)
+        t.put(k, k);
+    for (KeyId k = 600; k > 0; --k)
+        ASSERT_TRUE(t.erase(k - 1));
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_TRUE(t.validate());
+    EXPECT_EQ(t.height(), 1);
+}
+
+// --------------------------------------------------------------------------
+// Skip list
+// --------------------------------------------------------------------------
+
+TEST(SkipList, RangeScanOrdered)
+{
+    SkipListMap m;
+    for (KeyId k = 0; k < 500; ++k)
+        m.put(k * 3, k);
+    KeyId prev = 0;
+    bool first = true;
+    std::size_t n = m.rangeScan(30, 300, [&](KeyId k, Value) {
+        if (!first) {
+            EXPECT_GT(k, prev);
+        }
+        prev = k;
+        first = false;
+    });
+    EXPECT_EQ(n, 91u); // 30,33,...,300
+}
+
+TEST(SkipList, LevelsGrowWithSize)
+{
+    SkipListMap m;
+    EXPECT_EQ(m.currentLevels(), 1);
+    for (KeyId k = 0; k < 10000; ++k)
+        m.put(k, k);
+    EXPECT_GT(m.currentLevels(), 3);
+}
+
+TEST(SkipList, LevelsShrinkAfterDrain)
+{
+    SkipListMap m;
+    for (KeyId k = 0; k < 1000; ++k)
+        m.put(k, k);
+    for (KeyId k = 0; k < 1000; ++k)
+        ASSERT_TRUE(m.erase(k));
+    EXPECT_EQ(m.currentLevels(), 1);
+    EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(SkipList, DeterministicStructure)
+{
+    SkipListMap a(123), b(123);
+    for (KeyId k = 0; k < 1000; ++k) {
+        a.put(k, k);
+        b.put(k, k);
+    }
+    EXPECT_EQ(a.currentLevels(), b.currentLevels());
+}
+
+// --------------------------------------------------------------------------
+// Robin-hood hash table
+// --------------------------------------------------------------------------
+
+TEST(RobinHood, GrowsUnderLoad)
+{
+    RobinHoodHashTable h(16);
+    std::size_t initial = h.capacity();
+    for (KeyId k = 0; k < 1000; ++k)
+        h.put(k, k);
+    EXPECT_GT(h.capacity(), initial);
+    EXPECT_EQ(h.size(), 1000u);
+}
+
+TEST(RobinHood, BackwardShiftDeletionKeepsChains)
+{
+    RobinHoodHashTable h(64);
+    // Insert colliding-ish keys, delete some, verify the rest.
+    for (KeyId k = 0; k < 48; ++k)
+        h.put(k, k + 1);
+    for (KeyId k = 0; k < 48; k += 2)
+        ASSERT_TRUE(h.erase(k));
+    for (KeyId k = 1; k < 48; k += 2) {
+        Value v = 0;
+        ASSERT_TRUE(h.get(k, v)) << "key " << k;
+        ASSERT_EQ(v, k + 1);
+    }
+}
+
+TEST(RobinHood, ProbesStayLowAtHighLoad)
+{
+    RobinHoodHashTable h;
+    for (KeyId k = 0; k < 100000; ++k)
+        h.put(k, k);
+    std::uint32_t worst = 0;
+    for (KeyId k = 0; k < 100000; k += 17) {
+        Value v;
+        ASSERT_TRUE(h.get(k, v));
+        worst = std::max(worst, h.lastProbes());
+    }
+    // Robin-hood keeps the longest probe sequence short.
+    EXPECT_LT(worst, 32u);
+}
+
+// --------------------------------------------------------------------------
+// Slab LRU cache
+// --------------------------------------------------------------------------
+
+TEST(SlabLru, EvictsLeastRecentlyUsed)
+{
+    SlabLruCache c(4);
+    for (KeyId k = 0; k < 4; ++k)
+        c.put(k, k);
+    Value v;
+    ASSERT_TRUE(c.get(0, v)); // touch 0: now 1 is LRU
+    c.put(99, 99);            // evicts 1
+    EXPECT_FALSE(c.get(1, v));
+    EXPECT_TRUE(c.get(0, v));
+    EXPECT_TRUE(c.get(99, v));
+    EXPECT_EQ(c.evictions(), 1u);
+}
+
+TEST(SlabLru, CapacityBoundsSize)
+{
+    SlabLruCache c(128);
+    for (KeyId k = 0; k < 1000; ++k)
+        c.put(k, k);
+    EXPECT_EQ(c.size(), 128u);
+    EXPECT_EQ(c.evictions(), 1000u - 128u);
+}
+
+TEST(SlabLru, LruKeyTracksOrder)
+{
+    SlabLruCache c(3);
+    KeyId lru;
+    EXPECT_FALSE(c.lruKey(lru));
+    c.put(1, 1);
+    c.put(2, 2);
+    c.put(3, 3);
+    ASSERT_TRUE(c.lruKey(lru));
+    EXPECT_EQ(lru, 1u);
+    Value v;
+    c.get(1, v); // 1 becomes MRU; 2 becomes LRU
+    ASSERT_TRUE(c.lruKey(lru));
+    EXPECT_EQ(lru, 2u);
+}
+
+TEST(SlabLru, EraseFreesSlotForReuse)
+{
+    SlabLruCache c(2);
+    c.put(1, 1);
+    c.put(2, 2);
+    ASSERT_TRUE(c.erase(1));
+    c.put(3, 3); // no eviction needed
+    EXPECT_EQ(c.evictions(), 0u);
+    Value v;
+    EXPECT_TRUE(c.get(2, v));
+    EXPECT_TRUE(c.get(3, v));
+}
+
+TEST(SlabLru, UpdateDoesNotEvict)
+{
+    SlabLruCache c(2);
+    c.put(1, 1);
+    c.put(2, 2);
+    c.put(1, 10); // overwrite, not insert
+    EXPECT_EQ(c.evictions(), 0u);
+    Value v;
+    EXPECT_TRUE(c.get(2, v));
+    ASSERT_TRUE(c.get(1, v));
+    EXPECT_EQ(v, 10u);
+}
+
+TEST(SlabLru, TtlExpiresLazily)
+{
+    SlabLruCache c(8);
+    c.putWithTtl(1, 100, 1000);
+    Value v;
+    EXPECT_TRUE(c.get(1, v, 999));
+    EXPECT_EQ(v, 100u);
+    // Past the deadline the entry is gone and its slot reclaimed.
+    EXPECT_FALSE(c.get(1, v, 1000));
+    EXPECT_EQ(c.size(), 0u);
+    EXPECT_EQ(c.expirations(), 1u);
+}
+
+TEST(SlabLru, NoTtlNeverExpires)
+{
+    SlabLruCache c(8);
+    c.put(1, 100);
+    Value v;
+    EXPECT_TRUE(c.get(1, v, ~ddp::sim::Tick{0} - 1));
+}
+
+TEST(SlabLru, OverwriteClearsTtl)
+{
+    SlabLruCache c(8);
+    c.putWithTtl(1, 100, 1000);
+    c.put(1, 200); // plain put: entry no longer expires
+    Value v;
+    EXPECT_TRUE(c.get(1, v, 5000));
+    EXPECT_EQ(v, 200u);
+}
+
+TEST(SlabLru, ExpireSweepReclaimsBatch)
+{
+    SlabLruCache c(16);
+    for (KeyId k = 0; k < 10; ++k)
+        c.putWithTtl(k, k, 100 + k); // staggered deadlines
+    c.put(99, 99);                   // immortal
+    EXPECT_EQ(c.expireSweep(105, 100), 6u); // deadlines 100..105
+    EXPECT_EQ(c.size(), 5u);
+    Value v;
+    EXPECT_TRUE(c.get(99, v, 1000));
+}
+
+TEST(SlabLru, HitMissCounters)
+{
+    SlabLruCache c(8);
+    c.put(1, 1);
+    Value v;
+    c.get(1, v, 0);
+    c.get(2, v, 0);
+    c.putWithTtl(3, 3, 10);
+    c.get(3, v, 20); // expired: miss
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 2u);
+}

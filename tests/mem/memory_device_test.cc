@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for the channel/bank memory timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_device.hh"
+#include "sim/ticks.hh"
+
+using namespace ddp::mem;
+using namespace ddp::sim;
+
+TEST(MemoryParams, PaperPresets)
+{
+    MemoryParams d = MemoryParams::dram();
+    EXPECT_EQ(d.channels, 4u);
+    EXPECT_EQ(d.banksPerChannel, 8u);
+    EXPECT_EQ(d.readLatency, 100 * kNanosecond);
+    EXPECT_EQ(d.writeLatency, 100 * kNanosecond);
+
+    MemoryParams n = MemoryParams::nvm();
+    EXPECT_EQ(n.channels, 2u);
+    EXPECT_EQ(n.readLatency, 140 * kNanosecond);
+    EXPECT_EQ(n.writeLatency, 400 * kNanosecond);
+    EXPECT_GT(n.capacityBytes, d.capacityBytes);
+}
+
+TEST(MemoryDevice, UncontendedReadLatency)
+{
+    MemoryDevice dev(MemoryParams::nvm());
+    Tick done = dev.read(0, 0);
+    EXPECT_EQ(done, 140 * kNanosecond + dev.params().lineTransfer);
+}
+
+TEST(MemoryDevice, UncontendedWriteLatency)
+{
+    MemoryDevice dev(MemoryParams::nvm());
+    Tick done = dev.write(1000, 64);
+    EXPECT_EQ(done,
+              1000 + 400 * kNanosecond + dev.params().lineTransfer);
+}
+
+TEST(MemoryDevice, SameLineAccessesSerialize)
+{
+    MemoryDevice dev(MemoryParams::nvm());
+    Tick t1 = dev.write(0, 0);
+    Tick t2 = dev.write(0, 0);
+    // Same bank: the second write queues behind the first.
+    EXPECT_GE(t2, t1 + 400 * kNanosecond);
+}
+
+TEST(MemoryDevice, DistinctLinesCanOverlap)
+{
+    MemoryDevice dev(MemoryParams::nvm());
+    // Issue writes to many distinct lines at t=0; with 16 banks, at
+    // least some pairs must overlap (finish well before serialized).
+    Tick serialized = 0;
+    Tick max_done = 0;
+    for (std::uint64_t i = 0; i < 16; ++i) {
+        Tick done = dev.write(0, i * 64);
+        serialized += 400 * kNanosecond;
+        if (done > max_done)
+            max_done = done;
+    }
+    EXPECT_LT(max_done, serialized);
+}
+
+TEST(MemoryDevice, QueueDelayVisible)
+{
+    MemoryDevice dev(MemoryParams::nvm());
+    EXPECT_EQ(dev.queueDelay(0, 0), 0u);
+    dev.write(0, 0);
+    EXPECT_GT(dev.queueDelay(0, 0), 0u);
+}
+
+TEST(MemoryDevice, CountsReadsAndWrites)
+{
+    MemoryDevice dev(MemoryParams::dram());
+    dev.read(0, 0);
+    dev.read(0, 64);
+    dev.write(0, 128);
+    EXPECT_EQ(dev.readCount(), 2u);
+    EXPECT_EQ(dev.writeCount(), 1u);
+}
+
+TEST(MemoryDevice, BusyTicksAccumulate)
+{
+    MemoryDevice dev(MemoryParams::dram());
+    dev.read(0, 0);
+    EXPECT_EQ(dev.bankBusyTicks(), 100 * kNanosecond);
+}
+
+TEST(MemoryDevice, SaturationGrowsBacklog)
+{
+    MemoryDevice dev(MemoryParams::nvm());
+    // Offer far more than the device can absorb at t=0.
+    Tick last = 0;
+    for (int i = 0; i < 1000; ++i)
+        last = dev.write(0, static_cast<std::uint64_t>(i) * 64);
+    // 1000 writes x 400ns over 16 banks ~ 25 us minimum.
+    EXPECT_GT(last, 20 * kMicrosecond);
+    EXPECT_GT(dev.totalWaitTicks(), 0u);
+}
+
+TEST(MemoryDevice, ResetClearsBacklog)
+{
+    MemoryDevice dev(MemoryParams::nvm());
+    for (int i = 0; i < 100; ++i)
+        dev.write(0, 0);
+    dev.reset();
+    EXPECT_EQ(dev.queueDelay(0, 0), 0u);
+}
+
+TEST(MemoryDevice, ChannelsInterleaveByLine)
+{
+    MemoryParams p = MemoryParams::dram();
+    MemoryDevice dev(p);
+    // Consecutive lines map to different channels; writes to lines
+    // 0..3 at t=0 should all complete at the uncontended latency if
+    // they also land in different banks (hash may collide banks, so
+    // just require at least two distinct completion behaviours are
+    // not serialized into one chain).
+    Tick done0 = dev.write(0, 0 * 64);
+    Tick done1 = dev.write(0, 1 * 64);
+    EXPECT_EQ(done0, 100 * kNanosecond + p.lineTransfer);
+    // Different channel: independent bus, also uncontended.
+    EXPECT_LE(done1, done0 + 100 * kNanosecond);
+}
+
+TEST(MemoryDevice, OpenPageRowHitsAreFaster)
+{
+    MemoryParams p = MemoryParams::nvm();
+    p.openPage = true;
+    MemoryDevice dev(p);
+    // First access to a row activates it (full latency)...
+    Tick first = dev.read(0, 0);
+    EXPECT_EQ(first, 140 * kNanosecond + p.lineTransfer);
+    // ...re-touching the same line (hot-key persists do this
+    // constantly) hits the open row. Note adjacent lines interleave
+    // across channels and hashed banks, so cross-line row locality is
+    // intentionally absent.
+    Tick second = dev.read(first, 0);
+    EXPECT_EQ(second - first, p.rowHitLatency + p.lineTransfer);
+    EXPECT_EQ(dev.rowHits(), 1u);
+}
+
+TEST(MemoryDevice, OpenPageRowMissReactivates)
+{
+    MemoryParams p = MemoryParams::nvm();
+    p.openPage = true;
+    MemoryDevice dev(p);
+    Tick first = dev.read(0, 0);
+    // A different row in (possibly) the same bank: full latency again
+    // when it maps to the same bank; row hits stay at zero regardless.
+    std::uint64_t far = 64ULL * p.linesPerRow * 16;
+    dev.read(first, far);
+    EXPECT_EQ(dev.rowHits(), 0u);
+}
+
+TEST(MemoryDevice, ClosedPageNeverCountsRowHits)
+{
+    MemoryDevice dev(MemoryParams::nvm());
+    dev.read(0, 0);
+    dev.read(0, 64);
+    dev.read(0, 0);
+    EXPECT_EQ(dev.rowHits(), 0u);
+}
+
+TEST(MemoryDevice, ResetClosesOpenRows)
+{
+    MemoryParams p = MemoryParams::nvm();
+    p.openPage = true;
+    MemoryDevice dev(p);
+    dev.read(0, 0);
+    dev.reset();
+    Tick t = dev.read(0, 0); // would be a row hit without the reset
+    EXPECT_EQ(t, 140 * kNanosecond + p.lineTransfer);
+    EXPECT_EQ(dev.rowHits(), 0u);
+}

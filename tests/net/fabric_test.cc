@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Unit tests for messages, the NIC model, and the fabric.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/fabric.hh"
+#include "net/message.hh"
+#include "sim/event_queue.hh"
+
+using namespace ddp::net;
+using namespace ddp::sim;
+using ddp::sim::Tick;
+
+TEST(Message, SizeAccountsForPayloadAndCauhist)
+{
+    Message m;
+    std::uint32_t base = m.sizeBytes();
+    m.hasData = true;
+    EXPECT_EQ(m.sizeBytes(), base + 64);
+    m.cauhist = {1, 2, 3, 4, 5};
+    EXPECT_EQ(m.sizeBytes(), base + 64 + 5 * 8);
+}
+
+TEST(Message, TypeNames)
+{
+    EXPECT_STREQ(msgTypeName(MsgType::Inv), "INV");
+    EXPECT_STREQ(msgTypeName(MsgType::AckC), "ACK_c");
+    EXPECT_STREQ(msgTypeName(MsgType::ValP), "VAL_p");
+    EXPECT_STREQ(msgTypeName(MsgType::Upd), "UPD");
+    EXPECT_STREQ(msgTypeName(MsgType::Persist), "PERSIST");
+}
+
+TEST(Version, LexicographicOrder)
+{
+    Version a{1, 0}, b{1, 1}, c{2, 0};
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, c);
+    EXPECT_LT(a, c);
+    EXPECT_EQ(a, (Version{1, 0}));
+    EXPECT_NE(a, b);
+    EXPECT_GE(c, b);
+    EXPECT_LE(a, a);
+}
+
+TEST(NetworkParams, SerializationTiming)
+{
+    NetworkParams p;
+    // 64 bytes at 200 Gb/s: 64*8/200e9 s = 2.56 ns = 2560 ps.
+    EXPECT_EQ(p.serializationTicks(64), 2560u);
+    EXPECT_EQ(p.serializationTicks(0), 0u);
+}
+
+namespace {
+
+struct FabricHarness
+{
+    EventQueue eq;
+    NetworkParams params;
+    Fabric fabric;
+    std::vector<std::vector<Message>> received;
+
+    explicit FabricHarness(std::size_t nodes)
+        : fabric(eq, params, nodes), received(nodes)
+    {
+        for (NodeId n = 0; n < nodes; ++n) {
+            fabric.attach(n, [this, n](const Message &m) {
+                received[n].push_back(m);
+            });
+        }
+    }
+};
+
+} // namespace
+
+TEST(Fabric, DeliversWithLatency)
+{
+    FabricHarness h(2);
+    Message m;
+    m.src = 0;
+    m.dst = 1;
+    h.fabric.send(m);
+    h.eq.run();
+    ASSERT_EQ(h.received[1].size(), 1u);
+    // At least half the RTT must have elapsed.
+    EXPECT_GE(h.eq.now(), h.params.roundTrip / 2);
+    // And no more than RTT (one-way plus pipeline overheads).
+    EXPECT_LT(h.eq.now(), h.params.roundTrip);
+}
+
+TEST(Fabric, SelfSendIsImmediate)
+{
+    FabricHarness h(2);
+    Message m;
+    m.src = 0;
+    m.dst = 0;
+    h.fabric.send(m);
+    h.eq.run();
+    ASSERT_EQ(h.received[0].size(), 1u);
+    EXPECT_EQ(h.eq.now(), 0u);
+}
+
+TEST(Fabric, PerPairOrderingPreserved)
+{
+    FabricHarness h(2);
+    for (std::uint64_t i = 0; i < 20; ++i) {
+        Message m;
+        m.src = 0;
+        m.dst = 1;
+        m.opId = i;
+        // Vary sizes so naive latency-based delivery would reorder.
+        m.hasData = (i % 2) == 0;
+        h.fabric.send(m);
+    }
+    h.eq.run();
+    ASSERT_EQ(h.received[1].size(), 20u);
+    for (std::uint64_t i = 0; i < 20; ++i)
+        EXPECT_EQ(h.received[1][i].opId, i);
+}
+
+TEST(Fabric, BroadcastReachesAllButSource)
+{
+    FabricHarness h(5);
+    Message m;
+    m.src = 2;
+    h.fabric.broadcast(m);
+    h.eq.run();
+    for (NodeId n = 0; n < 5; ++n) {
+        if (n == 2)
+            EXPECT_TRUE(h.received[n].empty());
+        else
+            EXPECT_EQ(h.received[n].size(), 1u);
+    }
+}
+
+TEST(Fabric, CountsTraffic)
+{
+    FabricHarness h(3);
+    Message m;
+    m.src = 0;
+    m.dst = 1;
+    m.hasData = true;
+    h.fabric.send(m);
+    h.eq.run();
+    EXPECT_EQ(h.fabric.totalMessages(), 1u);
+    EXPECT_EQ(h.fabric.totalBytes(), m.sizeBytes());
+}
+
+TEST(Fabric, TxSerializationDelaysBurst)
+{
+    FabricHarness h(2);
+    // A large burst must be paced by the sender's line rate.
+    for (int i = 0; i < 1000; ++i) {
+        Message m;
+        m.src = 0;
+        m.dst = 1;
+        m.hasData = true;
+        h.fabric.send(m);
+    }
+    h.eq.run();
+    // 1000 messages x (txOverhead + serialization) >> one-way latency.
+    Tick min_time =
+        1000 * h.params.txOverhead + h.params.roundTrip / 2;
+    EXPECT_GE(h.eq.now(), min_time);
+}
+
+TEST(Fabric, HigherBandwidthDeliversSooner)
+{
+    EventQueue eq1, eq2;
+    NetworkParams slow;
+    slow.bandwidthBps = 10ULL * 1000 * 1000 * 1000; // 10 Gb/s
+    NetworkParams fast;
+    Fabric f1(eq1, slow, 2), f2(eq2, fast, 2);
+    Tick t1 = 0, t2 = 0;
+    f1.attach(1, [&](const Message &) { t1 = eq1.now(); });
+    f1.attach(0, [](const Message &) {});
+    f2.attach(1, [&](const Message &) { t2 = eq2.now(); });
+    f2.attach(0, [](const Message &) {});
+    Message m;
+    m.src = 0;
+    m.dst = 1;
+    m.hasData = true;
+    f1.send(m);
+    f2.send(m);
+    eq1.run();
+    eq2.run();
+    EXPECT_GT(t1, t2);
+}
+
+TEST(TwoTier, InterRackMessagesPayUplinkCosts)
+{
+    EventQueue eq;
+    NetworkParams p;
+    p.topology = Topology::TwoTier;
+    p.rackSize = 2; // nodes {0,1} rack A, {2,3} rack B
+    Fabric f(eq, p, 4);
+    Tick intra = 0, inter = 0;
+    for (NodeId n = 0; n < 4; ++n)
+        f.attach(n, [](const Message &) {});
+    f.attach(1, [&](const Message &) { intra = eq.now(); });
+    f.attach(2, [&](const Message &) { inter = eq.now(); });
+    Message m;
+    m.src = 0;
+    m.dst = 1;
+    f.send(m);
+    m.dst = 2;
+    f.send(m);
+    eq.run();
+    EXPECT_GE(inter, intra + 2 * p.interRackHop);
+}
+
+TEST(TwoTier, UplinkSerializesCrossRackBursts)
+{
+    EventQueue eq;
+    NetworkParams p;
+    p.topology = Topology::TwoTier;
+    p.rackSize = 2;
+    p.uplinkBandwidthBps = 10ULL * 1000 * 1000 * 1000; // slow uplink
+    Fabric f(eq, p, 4);
+    for (NodeId n = 0; n < 4; ++n)
+        f.attach(n, [](const Message &) {});
+    Tick last = 0;
+    f.attach(2, [&](const Message &) { last = eq.now(); });
+    // Burst of large inter-rack messages from both rack-A nodes.
+    for (int i = 0; i < 100; ++i) {
+        Message m;
+        m.src = static_cast<NodeId>(i % 2);
+        m.dst = 2;
+        m.hasData = true;
+        f.send(m);
+    }
+    eq.run();
+    // 100 x 112B at 10 Gb/s ~ 9 us of pure uplink serialization.
+    EXPECT_GT(last, 8 * kMicrosecond);
+}
+
+TEST(TwoTier, IntraRackTrafficAvoidsUplink)
+{
+    EventQueue eq1, eq2;
+    NetworkParams mesh;
+    NetworkParams tiered;
+    tiered.topology = Topology::TwoTier;
+    tiered.rackSize = 2;
+    Fabric f1(eq1, mesh, 4), f2(eq2, tiered, 4);
+    Tick t1 = 0, t2 = 0;
+    for (NodeId n = 0; n < 4; ++n) {
+        f1.attach(n, [](const Message &) {});
+        f2.attach(n, [](const Message &) {});
+    }
+    f1.attach(1, [&](const Message &) { t1 = eq1.now(); });
+    f2.attach(1, [&](const Message &) { t2 = eq2.now(); });
+    Message m;
+    m.src = 0;
+    m.dst = 1;
+    f1.send(m);
+    f2.send(m);
+    eq1.run();
+    eq2.run();
+    EXPECT_EQ(t1, t2); // same rack: identical timing to full mesh
+}

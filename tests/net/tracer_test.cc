@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the protocol message tracer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/fabric.hh"
+#include "net/tracer.hh"
+#include "sim/event_queue.hh"
+
+using namespace ddp::net;
+using namespace ddp::sim;
+
+namespace {
+
+struct TracedFabric
+{
+    EventQueue eq;
+    NetworkParams params;
+    Fabric fabric{eq, params, 3};
+    MessageTracer tracer;
+
+    TracedFabric()
+    {
+        for (NodeId n = 0; n < 3; ++n)
+            fabric.attach(n, [](const Message &) {});
+        fabric.setTracer(&tracer);
+    }
+
+    void
+    send(MsgType type, NodeId src, NodeId dst, KeyId key)
+    {
+        Message m;
+        m.type = type;
+        m.src = src;
+        m.dst = dst;
+        m.key = key;
+        m.version = Version{1, src};
+        fabric.send(m);
+    }
+};
+
+} // namespace
+
+TEST(MessageTracer, RecordsDeliveriesInOrder)
+{
+    TracedFabric t;
+    t.send(MsgType::Inv, 0, 1, 5);
+    t.send(MsgType::Ack, 1, 0, 5);
+    t.eq.run();
+    ASSERT_EQ(t.tracer.size(), 2u);
+    EXPECT_EQ(t.tracer[0].type, MsgType::Inv);
+    EXPECT_EQ(t.tracer[1].type, MsgType::Ack);
+    EXPECT_LE(t.tracer[0].at, t.tracer[1].at);
+    EXPECT_EQ(t.tracer[0].key, 5u);
+}
+
+TEST(MessageTracer, CountsByType)
+{
+    TracedFabric t;
+    t.send(MsgType::Inv, 0, 1, 1);
+    t.send(MsgType::Inv, 0, 2, 1);
+    t.send(MsgType::Val, 0, 1, 1);
+    t.eq.run();
+    EXPECT_EQ(t.tracer.countOf(MsgType::Inv), 2u);
+    EXPECT_EQ(t.tracer.countOf(MsgType::Val), 1u);
+    EXPECT_EQ(t.tracer.countOf(MsgType::Upd), 0u);
+}
+
+TEST(MessageTracer, RingBufferBounds)
+{
+    TracedFabric t;
+    MessageTracer small(4);
+    t.fabric.setTracer(&small);
+    for (int i = 0; i < 10; ++i)
+        t.send(MsgType::Upd, 0, 1, static_cast<KeyId>(i));
+    t.eq.run();
+    EXPECT_EQ(small.size(), 4u);
+    EXPECT_EQ(small.droppedEntries(), 6u);
+    // The oldest entries were dropped; the newest survive.
+    EXPECT_EQ(small[3].key, 9u);
+}
+
+TEST(MessageTracer, DumpRendersTimeline)
+{
+    TracedFabric t;
+    t.send(MsgType::Inv, 0, 1, 7);
+    t.eq.run();
+    std::ostringstream os;
+    t.tracer.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("INV"), std::string::npos);
+    EXPECT_NE(out.find("key=7"), std::string::npos);
+    EXPECT_NE(out.find("0 -> 1"), std::string::npos);
+}
+
+TEST(MessageTracer, DumpKeyFilter)
+{
+    TracedFabric t;
+    t.send(MsgType::Inv, 0, 1, 7);
+    t.send(MsgType::Inv, 0, 1, 8);
+    t.eq.run();
+    std::ostringstream os;
+    t.tracer.dump(os, true, 8);
+    std::string out = os.str();
+    EXPECT_EQ(out.find("key=7"), std::string::npos);
+    EXPECT_NE(out.find("key=8"), std::string::npos);
+}
+
+TEST(MessageTracer, ClearResets)
+{
+    TracedFabric t;
+    t.send(MsgType::Inv, 0, 1, 7);
+    t.eq.run();
+    t.tracer.clear();
+    EXPECT_EQ(t.tracer.size(), 0u);
+    EXPECT_EQ(t.tracer.droppedEntries(), 0u);
+}
+
+TEST(MessageTracer, ForEachVisitsAll)
+{
+    TracedFabric t;
+    for (int i = 0; i < 5; ++i)
+        t.send(MsgType::Upd, 0, 2, static_cast<KeyId>(i));
+    t.eq.run();
+    int visited = 0;
+    t.tracer.forEach([&](const TraceEntry &) { ++visited; });
+    EXPECT_EQ(visited, 5);
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace ddp::sim;
+
+TEST(EventQueue, StartsAtTimeZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.pendingEvents(), 0u);
+    EXPECT_EQ(eq.executedEvents(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NowAdvancesToEventTime)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(123, [&] { seen = eq.now(); });
+    eq.run();
+    EXPECT_EQ(seen, 123u);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.schedule(2, [&] {
+            ++fired;
+            eq.scheduleIn(3, [&] { ++fired; });
+        });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(eq.now(), 5u);
+}
+
+TEST(EventQueue, ScheduleInUsesCurrentTime)
+{
+    EventQueue eq;
+    Tick inner = 0;
+    eq.schedule(100, [&] {
+        eq.scheduleIn(50, [&] { inner = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(inner, 150u);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] { ++fired; });
+    eq.schedule(2, [&] { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.schedule(30, [&] { ++fired; });
+    eq.runUntil(20);
+    EXPECT_EQ(fired, 2); // events at t<=20 run
+    EXPECT_EQ(eq.now(), 20u);
+    EXPECT_EQ(eq.pendingEvents(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenIdle)
+{
+    EventQueue eq;
+    eq.runUntil(500);
+    EXPECT_EQ(eq.now(), 500u);
+}
+
+TEST(EventQueue, ClearDropsPending)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.clear();
+    eq.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, ExecutedEventsCounts)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.schedule(static_cast<Tick>(i), [] {});
+    eq.run();
+    EXPECT_EQ(eq.executedEvents(), 7u);
+}
+
+TEST(Ticks, UnitConversions)
+{
+    EXPECT_EQ(kNanosecond, 1000u);
+    EXPECT_EQ(kMicrosecond, 1000u * 1000u);
+    EXPECT_DOUBLE_EQ(ticksToNs(1500), 1.5);
+    EXPECT_DOUBLE_EQ(ticksToUs(2 * kMicrosecond), 2.0);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(kSecond), 1.0);
+    // A 2 GHz core cycle is 500 ps.
+    EXPECT_EQ(cyclePeriod(2'000'000'000ull), 500u);
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit and statistical tests for the RNG and distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/random.hh"
+
+using namespace ddp::sim;
+
+TEST(Pcg32, DeterministicForSameSeed)
+{
+    Pcg32 a(42, 7), b(42, 7);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.nextU32(), b.nextU32());
+}
+
+TEST(Pcg32, DifferentStreamsDiffer)
+{
+    Pcg32 a(42, 1), b(42, 2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.nextU32() == b.nextU32())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, BoundedStaysInRange)
+{
+    Pcg32 rng(1, 1);
+    for (int i = 0; i < 10000; ++i) {
+        std::uint32_t v = rng.nextBounded(17);
+        ASSERT_LT(v, 17u);
+    }
+}
+
+TEST(Pcg32, BoundedCoversAllValues)
+{
+    Pcg32 rng(3, 3);
+    std::map<std::uint32_t, int> seen;
+    for (int i = 0; i < 5000; ++i)
+        seen[rng.nextBounded(8)]++;
+    EXPECT_EQ(seen.size(), 8u);
+    for (const auto &[v, n] : seen)
+        EXPECT_GT(n, 5000 / 8 / 3) << "value " << v << " undersampled";
+}
+
+TEST(Pcg32, DoubleInUnitInterval)
+{
+    Pcg32 rng(9, 9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Zipfian, StaysInRange)
+{
+    Pcg32 rng(5, 5);
+    ZipfianGenerator zipf(1000, 0.99);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(zipf.next(rng), 1000u);
+}
+
+TEST(Zipfian, ItemZeroIsMostPopular)
+{
+    Pcg32 rng(5, 6);
+    ZipfianGenerator zipf(10000, 0.99);
+    std::map<std::uint64_t, int> hist;
+    for (int i = 0; i < 100000; ++i)
+        hist[zipf.next(rng)]++;
+    // Item 0 must dominate any mid-range item by a wide margin.
+    EXPECT_GT(hist[0], hist[50] * 5);
+    EXPECT_GT(hist[0], 5000); // >5% of draws at theta 0.99
+}
+
+TEST(Zipfian, SkewParameterMatters)
+{
+    Pcg32 r1(5, 7), r2(5, 7);
+    ZipfianGenerator strong(10000, 0.99), weak(10000, 0.5);
+    int hot_strong = 0, hot_weak = 0;
+    for (int i = 0; i < 50000; ++i) {
+        if (strong.next(r1) == 0)
+            ++hot_strong;
+        if (weak.next(r2) == 0)
+            ++hot_weak;
+    }
+    EXPECT_GT(hot_strong, hot_weak * 4);
+}
+
+TEST(Zipfian, SingleItemAlwaysZero)
+{
+    Pcg32 rng(1, 2);
+    ZipfianGenerator zipf(1, 0.99);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(zipf.next(rng), 0u);
+}
+
+TEST(Zipfian, DeterministicGivenRngState)
+{
+    Pcg32 a(11, 4), b(11, 4);
+    ZipfianGenerator zipf(5000, 0.9);
+    for (int i = 0; i < 500; ++i)
+        ASSERT_EQ(zipf.next(a), zipf.next(b));
+}

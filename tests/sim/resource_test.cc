@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for the FIFO resource timing models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/resource.hh"
+
+using namespace ddp::sim;
+
+TEST(FifoResource, IdleResourceServesImmediately)
+{
+    FifoResource r;
+    EXPECT_EQ(r.acquire(100, 50), 150u);
+    EXPECT_EQ(r.freeAt(), 150u);
+}
+
+TEST(FifoResource, BackToBackQueues)
+{
+    FifoResource r;
+    EXPECT_EQ(r.acquire(0, 10), 10u);
+    // Arrives at t=5 while busy until 10: starts at 10, done at 20.
+    EXPECT_EQ(r.acquire(5, 10), 20u);
+    EXPECT_EQ(r.acquire(5, 10), 30u);
+}
+
+TEST(FifoResource, GapLeavesResourceIdle)
+{
+    FifoResource r;
+    r.acquire(0, 10);
+    EXPECT_EQ(r.acquire(100, 10), 110u);
+}
+
+TEST(FifoResource, QueueDelayReflectsBacklog)
+{
+    FifoResource r;
+    r.acquire(0, 100);
+    EXPECT_EQ(r.queueDelay(30), 70u);
+    EXPECT_EQ(r.queueDelay(100), 0u);
+    EXPECT_EQ(r.queueDelay(200), 0u);
+}
+
+TEST(FifoResource, TracksBusyAndWait)
+{
+    FifoResource r;
+    r.acquire(0, 10);
+    r.acquire(0, 10); // waits 10
+    EXPECT_EQ(r.busyTicks(), 20u);
+    EXPECT_EQ(r.waitTicks(), 10u);
+    EXPECT_EQ(r.count(), 2u);
+}
+
+TEST(FifoResource, ResetClearsTimingNotStats)
+{
+    FifoResource r;
+    r.acquire(0, 50);
+    r.reset();
+    EXPECT_EQ(r.freeAt(), 0u);
+    EXPECT_EQ(r.count(), 1u);
+}
+
+TEST(ResourcePool, ParallelServersOverlap)
+{
+    ResourcePool pool(2);
+    EXPECT_EQ(pool.acquire(0, 10), 10u);
+    EXPECT_EQ(pool.acquire(0, 10), 10u); // second server
+    EXPECT_EQ(pool.acquire(0, 10), 20u); // queues behind one of them
+}
+
+TEST(ResourcePool, PicksEarliestFree)
+{
+    ResourcePool pool(2);
+    pool.acquire(0, 100); // server A busy till 100
+    pool.acquire(0, 10);  // server B busy till 10
+    // Arrival at 20: B free at 10 -> done at 30.
+    EXPECT_EQ(pool.acquire(20, 10), 30u);
+}
+
+TEST(ResourcePool, EarliestFreeAggregates)
+{
+    ResourcePool pool(3);
+    pool.acquire(0, 30);
+    pool.acquire(0, 20);
+    EXPECT_EQ(pool.earliestFree(), 0u); // third server never used
+    pool.acquire(0, 10);
+    EXPECT_EQ(pool.earliestFree(), 10u);
+}
+
+TEST(ResourcePool, BusyAndCountAggregate)
+{
+    ResourcePool pool(4);
+    for (int i = 0; i < 8; ++i)
+        pool.acquire(0, 5);
+    EXPECT_EQ(pool.busyTicks(), 40u);
+    EXPECT_EQ(pool.count(), 8u);
+    EXPECT_EQ(pool.size(), 4u);
+}

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the log-linear histogram, counters, and table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/random.hh"
+#include "stats/counter.hh"
+#include "stats/histogram.hh"
+#include "stats/table.hh"
+
+using namespace ddp::stats;
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, ExactMean)
+{
+    Histogram h;
+    h.record(10);
+    h.record(20);
+    h.record(30);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+    EXPECT_EQ(h.min(), 10u);
+    EXPECT_EQ(h.max(), 30u);
+    EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, SmallValuesAreExact)
+{
+    Histogram h;
+    for (std::uint64_t v = 0; v < 64; ++v)
+        h.record(v);
+    // Values below the sub-bucket count land in exact buckets.
+    EXPECT_EQ(h.quantile(0.0), 0u);
+    EXPECT_EQ(h.quantile(1.0), 63u);
+}
+
+TEST(Histogram, QuantileRelativeErrorBounded)
+{
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 100000; ++v)
+        h.record(v);
+    // p50 should be ~50000 within the ~1.6% bucket resolution.
+    double p50 = static_cast<double>(h.quantile(0.5));
+    EXPECT_NEAR(p50, 50000.0, 50000.0 * 0.03);
+    double p95 = static_cast<double>(h.p95());
+    EXPECT_NEAR(p95, 95000.0, 95000.0 * 0.03);
+    double p99 = static_cast<double>(h.p99());
+    EXPECT_NEAR(p99, 99000.0, 99000.0 * 0.03);
+}
+
+TEST(Histogram, QuantilesMonotonic)
+{
+    Histogram h;
+    ddp::sim::Pcg32 rng(77, 1);
+    for (int i = 0; i < 20000; ++i)
+        h.record(rng.nextU64() % 1000000);
+    std::uint64_t prev = 0;
+    for (double q = 0.0; q <= 1.0; q += 0.05) {
+        std::uint64_t v = h.quantile(q);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(Histogram, HugeValuesDoNotOverflow)
+{
+    Histogram h;
+    h.record(~std::uint64_t{0} / 2);
+    h.record(1);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_GE(h.max(), ~std::uint64_t{0} / 2);
+}
+
+TEST(Histogram, MergeCombines)
+{
+    Histogram a, b;
+    a.record(10);
+    b.record(1000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.min(), 10u);
+    EXPECT_EQ(a.max(), 1000u);
+    EXPECT_DOUBLE_EQ(a.mean(), 505.0);
+}
+
+TEST(Histogram, ClearResets)
+{
+    Histogram h;
+    h.record(5);
+    h.clear();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    h.record(7);
+    EXPECT_EQ(h.min(), 7u);
+}
+
+TEST(CounterRegistry, AddAndGet)
+{
+    CounterRegistry c;
+    EXPECT_EQ(c.get("x"), 0u);
+    c.add("x");
+    c.add("x", 4);
+    EXPECT_EQ(c.get("x"), 5u);
+}
+
+TEST(CounterRegistry, DiffAgainstSnapshot)
+{
+    CounterRegistry c;
+    c.add("a", 10);
+    auto snap = c.snapshot();
+    c.add("a", 5);
+    c.add("b", 3);
+    auto d = c.diff(snap);
+    EXPECT_EQ(d["a"], 5u);
+    EXPECT_EQ(d["b"], 3u);
+}
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer-name", "2"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+#include "stats/timeseries.hh"
+
+using ddp::sim::kMicrosecond;
+
+TEST(RateSeries, BucketsEventsByInterval)
+{
+    RateSeries s(10 * kMicrosecond);
+    s.record(1 * kMicrosecond);
+    s.record(9 * kMicrosecond);
+    s.record(15 * kMicrosecond);
+    EXPECT_EQ(s.buckets(), 2u);
+    EXPECT_EQ(s.countAt(0), 2u);
+    EXPECT_EQ(s.countAt(1), 1u);
+    EXPECT_EQ(s.countAt(5), 0u);
+    EXPECT_EQ(s.totalEvents(), 3u);
+}
+
+TEST(RateSeries, RateConvertsToPerSecond)
+{
+    RateSeries s(kMicrosecond);
+    for (int i = 0; i < 100; ++i)
+        s.record(500); // all within bucket 0 (1 us wide)
+    // 100 events / 1 us = 100 M/s.
+    EXPECT_DOUBLE_EQ(s.rateAt(0), 100e6);
+}
+
+TEST(RateSeries, RecordNAndBucketStart)
+{
+    RateSeries s(10 * kMicrosecond);
+    s.recordN(25 * kMicrosecond, 7);
+    EXPECT_EQ(s.countAt(2), 7u);
+    EXPECT_EQ(s.bucketStart(2), 20 * kMicrosecond);
+}
+
+TEST(RateSeries, MinBucketFindsDip)
+{
+    RateSeries s(kMicrosecond);
+    for (int b = 0; b < 10; ++b) {
+        int events = (b == 6) ? 2 : 50;
+        for (int i = 0; i < events; ++i)
+            s.record(static_cast<ddp::sim::Tick>(b) * kMicrosecond);
+    }
+    EXPECT_EQ(s.minBucket(0, 10), 6u);
+}
+
+TEST(RateSeries, ClearResets)
+{
+    RateSeries s(kMicrosecond);
+    s.record(0);
+    s.clear();
+    EXPECT_EQ(s.buckets(), 0u);
+    EXPECT_EQ(s.totalEvents(), 0u);
+}

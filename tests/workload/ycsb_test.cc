@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for the YCSB workload generator and trace replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/trace.hh"
+#include "workload/ycsb.hh"
+
+using namespace ddp::workload;
+
+namespace {
+
+double
+measuredReadFraction(const WorkloadSpec &spec, int n = 20000)
+{
+    OpGenerator gen(spec, 7, 1);
+    int reads = 0;
+    for (int i = 0; i < n; ++i) {
+        if (gen.next().type == OpType::Read)
+            ++reads;
+    }
+    return static_cast<double>(reads) / n;
+}
+
+} // namespace
+
+TEST(Ycsb, WorkloadAMix)
+{
+    EXPECT_NEAR(measuredReadFraction(WorkloadSpec::ycsbA()), 0.50, 0.02);
+}
+
+TEST(Ycsb, WorkloadBMix)
+{
+    EXPECT_NEAR(measuredReadFraction(WorkloadSpec::ycsbB()), 0.95, 0.01);
+}
+
+TEST(Ycsb, WorkloadCIsReadOnly)
+{
+    EXPECT_DOUBLE_EQ(measuredReadFraction(WorkloadSpec::ycsbC()), 1.0);
+}
+
+TEST(Ycsb, WorkloadWIsWriteHeavy)
+{
+    EXPECT_NEAR(measuredReadFraction(WorkloadSpec::ycsbW()), 0.05, 0.01);
+}
+
+TEST(Ycsb, KeysWithinSpace)
+{
+    WorkloadSpec spec = WorkloadSpec::ycsbA(500);
+    OpGenerator gen(spec, 7, 2);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(gen.next().key, 500u);
+}
+
+TEST(Ycsb, ZipfianSkewsTraffic)
+{
+    WorkloadSpec spec = WorkloadSpec::ycsbA(10000);
+    OpGenerator gen(spec, 7, 3);
+    int hot = 0;
+    for (int i = 0; i < 50000; ++i) {
+        if (gen.next().key == 0)
+            ++hot;
+    }
+    // At theta 0.99 the top key draws several percent of traffic.
+    EXPECT_GT(hot, 50000 * 3 / 100);
+}
+
+TEST(Ycsb, UniformSpreadsTraffic)
+{
+    WorkloadSpec spec = WorkloadSpec::ycsbA(10000);
+    spec.distribution = KeyDistribution::Uniform;
+    OpGenerator gen(spec, 7, 4);
+    int hot = 0;
+    for (int i = 0; i < 50000; ++i) {
+        if (gen.next().key == 0)
+            ++hot;
+    }
+    EXPECT_LT(hot, 30);
+}
+
+TEST(Ycsb, DeterministicPerSeedAndStream)
+{
+    WorkloadSpec spec = WorkloadSpec::ycsbA();
+    OpGenerator a(spec, 11, 5), b(spec, 11, 5), c(spec, 11, 6);
+    bool diverged = false;
+    for (int i = 0; i < 1000; ++i) {
+        Op oa = a.next(), ob = b.next(), oc = c.next();
+        ASSERT_EQ(oa, ob);
+        if (!(oa == oc))
+            diverged = true;
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(Trace, RecordCapturesOps)
+{
+    WorkloadSpec spec = WorkloadSpec::ycsbA(100);
+    OpGenerator gen(spec, 3, 1);
+    Trace t = Trace::record(gen, 500);
+    EXPECT_EQ(t.size(), 500u);
+    EXPECT_NEAR(t.writeFraction(), 0.5, 0.1);
+}
+
+TEST(Trace, SaveLoadRoundTrip)
+{
+    WorkloadSpec spec = WorkloadSpec::ycsbW(100);
+    OpGenerator gen(spec, 4, 1);
+    Trace t = Trace::record(gen, 200);
+    std::stringstream ss;
+    t.save(ss);
+    Trace loaded;
+    ASSERT_TRUE(Trace::load(ss, loaded));
+    EXPECT_EQ(t, loaded);
+}
+
+TEST(Trace, LoadRejectsGarbage)
+{
+    std::stringstream ss("R 1\nX 2\n");
+    Trace t;
+    EXPECT_FALSE(Trace::load(ss, t));
+}
+
+TEST(Trace, CursorWrapsAround)
+{
+    Trace t;
+    t.append({OpType::Read, 1});
+    t.append({OpType::Write, 2});
+    TraceCursor cur(t);
+    EXPECT_EQ(cur.next().key, 1u);
+    EXPECT_EQ(cur.next().key, 2u);
+    EXPECT_EQ(cur.next().key, 1u); // wrapped
+}
+
+TEST(Trace, WriteFractionEmptyIsZero)
+{
+    Trace t;
+    EXPECT_DOUBLE_EQ(t.writeFraction(), 0.0);
+}
+
+TEST(Ycsb, WorkloadDReadsFollowFrontier)
+{
+    WorkloadSpec spec = WorkloadSpec::ycsbD(10000);
+    OpGenerator gen(spec, 9, 1);
+    // Warm the frontier with some traffic.
+    std::uint64_t last_write = 0;
+    int near = 0, reads = 0;
+    for (int i = 0; i < 50000; ++i) {
+        Op op = gen.next();
+        if (op.type == OpType::Write) {
+            last_write = op.key;
+        } else if (last_write > 1000) {
+            ++reads;
+            std::uint64_t gap = last_write >= op.key
+                                    ? last_write - op.key
+                                    : last_write + 10000 - op.key;
+            if (gap < 100)
+                ++near;
+        }
+    }
+    ASSERT_GT(reads, 1000);
+    // Most reads land within 100 keys of the newest insertion.
+    EXPECT_GT(near, reads / 2);
+}
+
+TEST(Ycsb, WorkloadDMix)
+{
+    EXPECT_NEAR(measuredReadFraction(WorkloadSpec::ycsbD()), 0.95,
+                0.01);
+}
+
+TEST(Ycsb, LatestKeysStayInRange)
+{
+    WorkloadSpec spec = WorkloadSpec::ycsbD(500);
+    OpGenerator gen(spec, 9, 2);
+    for (int i = 0; i < 20000; ++i)
+        ASSERT_LT(gen.next().key, 500u);
+}

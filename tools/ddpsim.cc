@@ -1,0 +1,367 @@
+/**
+ * @file
+ * ddpsim — command-line experiment driver.
+ *
+ * Runs one DDP-model experiment (or a sweep over all 25 models) on the
+ * simulated cluster and prints the measured metrics as a table or CSV.
+ *
+ *   ddpsim --consistency causal --persistency synchronous
+ *   ddpsim --all-models --format csv > results.csv
+ *   ddpsim --workload w --servers 3 --rtt-ns 500 --crash-at-us 2000
+ *
+ * Run `ddpsim --help` for the full flag list.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hh"
+#include "stats/table.hh"
+
+using namespace ddp;
+
+namespace {
+
+struct Options
+{
+    core::DdpModel model{core::Consistency::Causal,
+                         core::Persistency::Synchronous};
+    bool allModels = false;
+    std::uint32_t servers = 5;
+    std::uint32_t clientsPerServer = 20;
+    std::uint32_t replication = 0;
+    std::uint64_t keys = 100000;
+    std::string workload = "a";
+    double theta = 0.99;
+    std::string store = "hash";
+    std::uint64_t rttNs = 1000;
+    std::uint64_t bandwidthGbps = 200;
+    std::uint64_t warmupUs = 1000;
+    std::uint64_t measureUs = 3000;
+    std::uint64_t seed = 42;
+    std::optional<std::uint64_t> crashAtUs;
+    std::string traceFile;
+    bool csv = false;
+};
+
+void
+usage(std::ostream &os)
+{
+    os << "ddpsim — Distributed Data Persistency experiment driver\n\n"
+          "model selection:\n"
+          "  --consistency C     linearizable | read-enforced |\n"
+          "                      transactional | causal | eventual\n"
+          "  --persistency P     strict | synchronous | read-enforced |\n"
+          "                      scope | eventual\n"
+          "  --all-models        sweep all 25 <C, P> combinations\n\n"
+          "cluster:\n"
+          "  --servers N         servers (default 5)\n"
+          "  --clients-per-server N   (default 20)\n"
+          "  --replication R     replicas per key, 0 = all (default 0)\n"
+          "  --store S           hash | skiplist | btree | bplustree |\n"
+          "                      slablru (default hash)\n\n"
+          "workload:\n"
+          "  --workload W        a | b | c | d | w (default a)\n"
+          "  --keys N            key-space size (default 100000)\n"
+          "  --theta T           zipfian skew (default 0.99)\n"
+          "  --trace-file PATH   replay a recorded op trace instead\n"
+          "                      (format: one 'R <key>' or 'W <key>'\n"
+          "                      per line)\n\n"
+          "network:\n"
+          "  --rtt-ns N          NIC-to-NIC round trip (default 1000)\n"
+          "  --bandwidth-gbps N  NIC line rate (default 200)\n\n"
+          "run control:\n"
+          "  --warmup-us N       warmup window (default 1000)\n"
+          "  --measure-us N      measurement window (default 3000)\n"
+          "  --seed N            RNG seed (default 42)\n"
+          "  --crash-at-us N     inject a full-system crash at N us\n"
+          "                      after simulation start\n\n"
+          "output:\n"
+          "  --format F          table | csv (default table)\n"
+          "  --help              this text\n";
+}
+
+bool
+parseConsistency(const std::string &s, core::Consistency &out)
+{
+    if (s == "linearizable") out = core::Consistency::Linearizable;
+    else if (s == "read-enforced") out = core::Consistency::ReadEnforced;
+    else if (s == "transactional") out = core::Consistency::Transactional;
+    else if (s == "causal") out = core::Consistency::Causal;
+    else if (s == "eventual") out = core::Consistency::Eventual;
+    else return false;
+    return true;
+}
+
+bool
+parsePersistency(const std::string &s, core::Persistency &out)
+{
+    if (s == "strict") out = core::Persistency::Strict;
+    else if (s == "synchronous") out = core::Persistency::Synchronous;
+    else if (s == "read-enforced") out = core::Persistency::ReadEnforced;
+    else if (s == "scope") out = core::Persistency::Scope;
+    else if (s == "eventual") out = core::Persistency::Eventual;
+    else return false;
+    return true;
+}
+
+bool
+parseStore(const std::string &s, kv::StoreKind &out)
+{
+    if (s == "hash") out = kv::StoreKind::HashTable;
+    else if (s == "skiplist") out = kv::StoreKind::SkipList;
+    else if (s == "btree") out = kv::StoreKind::BTree;
+    else if (s == "bplustree") out = kv::StoreKind::BPlusTree;
+    else if (s == "slablru") out = kv::StoreKind::SlabLru;
+    else return false;
+    return true;
+}
+
+workload::WorkloadSpec
+makeWorkload(const Options &opt)
+{
+    workload::WorkloadSpec w;
+    if (opt.workload == "a") w = workload::WorkloadSpec::ycsbA(opt.keys);
+    else if (opt.workload == "b")
+        w = workload::WorkloadSpec::ycsbB(opt.keys);
+    else if (opt.workload == "c")
+        w = workload::WorkloadSpec::ycsbC(opt.keys);
+    else if (opt.workload == "d")
+        w = workload::WorkloadSpec::ycsbD(opt.keys);
+    else
+        w = workload::WorkloadSpec::ycsbW(opt.keys);
+    w.zipfTheta = opt.theta;
+    return w;
+}
+
+/** Parse argv; returns false (after printing a message) on error. */
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    auto need_value = [&](int i) {
+        if (i + 1 >= argc) {
+            std::cerr << "missing value for " << argv[i] << "\n";
+            return false;
+        }
+        return true;
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string flag = argv[i];
+        if (flag == "--help" || flag == "-h") {
+            usage(std::cout);
+            std::exit(0);
+        }
+        if (flag == "--all-models") {
+            opt.allModels = true;
+            continue;
+        }
+        if (!need_value(i))
+            return false;
+        std::string val = argv[++i];
+
+        if (flag == "--consistency") {
+            if (!parseConsistency(val, opt.model.consistency)) {
+                std::cerr << "unknown consistency '" << val << "'\n";
+                return false;
+            }
+        } else if (flag == "--persistency") {
+            if (!parsePersistency(val, opt.model.persistency)) {
+                std::cerr << "unknown persistency '" << val << "'\n";
+                return false;
+            }
+        } else if (flag == "--servers") {
+            opt.servers = static_cast<std::uint32_t>(
+                std::strtoul(val.c_str(), nullptr, 10));
+        } else if (flag == "--clients-per-server") {
+            opt.clientsPerServer = static_cast<std::uint32_t>(
+                std::strtoul(val.c_str(), nullptr, 10));
+        } else if (flag == "--replication") {
+            opt.replication = static_cast<std::uint32_t>(
+                std::strtoul(val.c_str(), nullptr, 10));
+        } else if (flag == "--keys") {
+            opt.keys = std::strtoull(val.c_str(), nullptr, 10);
+        } else if (flag == "--workload") {
+            if (val != "a" && val != "b" && val != "c" && val != "d" &&
+                val != "w") {
+                std::cerr << "unknown workload '" << val << "'\n";
+                return false;
+            }
+            opt.workload = val;
+        } else if (flag == "--theta") {
+            opt.theta = std::strtod(val.c_str(), nullptr);
+        } else if (flag == "--store") {
+            kv::StoreKind k;
+            if (!parseStore(val, k)) {
+                std::cerr << "unknown store '" << val << "'\n";
+                return false;
+            }
+            opt.store = val;
+        } else if (flag == "--rtt-ns") {
+            opt.rttNs = std::strtoull(val.c_str(), nullptr, 10);
+        } else if (flag == "--bandwidth-gbps") {
+            opt.bandwidthGbps = std::strtoull(val.c_str(), nullptr, 10);
+        } else if (flag == "--warmup-us") {
+            opt.warmupUs = std::strtoull(val.c_str(), nullptr, 10);
+        } else if (flag == "--measure-us") {
+            opt.measureUs = std::strtoull(val.c_str(), nullptr, 10);
+        } else if (flag == "--seed") {
+            opt.seed = std::strtoull(val.c_str(), nullptr, 10);
+        } else if (flag == "--crash-at-us") {
+            opt.crashAtUs = std::strtoull(val.c_str(), nullptr, 10);
+        } else if (flag == "--trace-file") {
+            opt.traceFile = val;
+        } else if (flag == "--format") {
+            if (val == "csv") {
+                opt.csv = true;
+            } else if (val != "table") {
+                std::cerr << "unknown format '" << val << "'\n";
+                return false;
+            }
+        } else {
+            std::cerr << "unknown flag '" << flag << "' (see --help)\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+cluster::ClusterConfig
+makeConfig(const Options &opt, core::DdpModel model)
+{
+    cluster::ClusterConfig cfg;
+    cfg.model = model;
+    cfg.numServers = opt.servers;
+    cfg.clientsPerServer = opt.clientsPerServer;
+    cfg.replicationFactor = opt.replication;
+    cfg.keyCount = opt.keys;
+    cfg.workload = makeWorkload(opt);
+    cfg.network.roundTrip = opt.rttNs * sim::kNanosecond;
+    cfg.network.bandwidthBps = opt.bandwidthGbps * 1000ull * 1000 * 1000;
+    cfg.warmup = opt.warmupUs * sim::kMicrosecond;
+    cfg.measure = opt.measureUs * sim::kMicrosecond;
+    cfg.seed = opt.seed;
+    kv::StoreKind kind;
+    parseStore(opt.store, kind);
+    cfg.node.storeKind = kind;
+    return cfg;
+}
+
+struct Row
+{
+    core::DdpModel model;
+    cluster::RunResult result;
+    std::uint64_t lost = 0;
+};
+
+Row
+runExperiment(const Options &opt, core::DdpModel model,
+              const workload::Trace *trace)
+{
+    if (opt.replication != 0 &&
+        (model.consistency == core::Consistency::Causal ||
+         model.consistency == core::Consistency::Transactional)) {
+        std::cerr << "error: " << core::modelName(model)
+                  << " requires full replication (--replication 0)\n";
+        std::exit(1);
+    }
+    cluster::ClusterConfig cfg = makeConfig(opt, model);
+    cfg.trace = trace;
+    cluster::Cluster c(cfg);
+    core::PropertyChecker checker;
+    if (opt.crashAtUs) {
+        c.setChecker(&checker);
+        c.scheduleCrash(*opt.crashAtUs * sim::kMicrosecond);
+    }
+    Row row;
+    row.model = model;
+    row.result = c.run();
+    row.lost = row.result.lostAckedWriteKeys;
+    return row;
+}
+
+void
+printRows(const Options &opt, const std::vector<Row> &rows)
+{
+    if (opt.csv) {
+        std::cout << "consistency,persistency,throughput_mreqs,"
+                     "mean_read_ns,mean_write_ns,p95_read_ns,"
+                     "p95_write_ns,messages,persists,xact_aborts,"
+                     "lost_acked_keys\n";
+        for (const Row &r : rows) {
+            std::cout << core::consistencyName(r.model.consistency)
+                      << ','
+                      << core::persistencyName(r.model.persistency)
+                      << ',' << r.result.throughput / 1e6 << ','
+                      << r.result.meanReadNs << ','
+                      << r.result.meanWriteNs << ','
+                      << r.result.p95ReadNs << ','
+                      << r.result.p95WriteNs << ','
+                      << r.result.messages << ','
+                      << r.result.persistsIssued << ','
+                      << r.result.xactAborted << ',' << r.lost << '\n';
+        }
+        return;
+    }
+
+    stats::Table t({"Model", "Mreq/s", "Read(ns)", "Write(ns)",
+                    "p95R(ns)", "p95W(ns)", "LostKeys"});
+    for (const Row &r : rows) {
+        t.addRow({core::modelName(r.model),
+                  stats::Table::num(r.result.throughput / 1e6, 2),
+                  stats::Table::num(r.result.meanReadNs, 0),
+                  stats::Table::num(r.result.meanWriteNs, 0),
+                  stats::Table::num(r.result.p95ReadNs, 0),
+                  stats::Table::num(r.result.p95WriteNs, 0),
+                  opt.crashAtUs ? std::to_string(r.lost) : "-"});
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt))
+        return 1;
+
+    workload::Trace trace;
+    const workload::Trace *trace_ptr = nullptr;
+    if (!opt.traceFile.empty()) {
+        std::ifstream in(opt.traceFile);
+        if (!in || !workload::Trace::load(in, trace) || trace.empty()) {
+            std::cerr << "cannot load trace from '" << opt.traceFile
+                      << "'\n";
+            return 1;
+        }
+        trace_ptr = &trace;
+        std::cerr << "replaying " << trace.size() << " traced ops\n";
+    }
+
+    std::vector<Row> rows;
+    if (opt.allModels) {
+        for (const core::DdpModel &m : core::allModels()) {
+            if (opt.replication != 0 &&
+                (m.consistency == core::Consistency::Causal ||
+                 m.consistency == core::Consistency::Transactional)) {
+                std::cerr << "skipping " << core::modelName(m)
+                          << ": partial replication unsupported\n";
+                continue;
+            }
+            std::cerr << "running " << core::modelName(m) << "...\n";
+            rows.push_back(runExperiment(opt, m, trace_ptr));
+        }
+    } else {
+        rows.push_back(runExperiment(opt, opt.model, trace_ptr));
+    }
+    printRows(opt, rows);
+    return 0;
+}
