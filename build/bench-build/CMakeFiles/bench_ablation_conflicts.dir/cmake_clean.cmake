@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_conflicts"
+  "../bench/bench_ablation_conflicts.pdb"
+  "CMakeFiles/bench_ablation_conflicts.dir/bench_ablation_conflicts.cpp.o"
+  "CMakeFiles/bench_ablation_conflicts.dir/bench_ablation_conflicts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_stalls"
+  "../bench/bench_ablation_stalls.pdb"
+  "CMakeFiles/bench_ablation_stalls.dir/bench_ablation_stalls.cpp.o"
+  "CMakeFiles/bench_ablation_stalls.dir/bench_ablation_stalls.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8.cpp" "bench-build/CMakeFiles/bench_fig8.dir/bench_fig8.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig8.dir/bench_fig8.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/ddp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddp/CMakeFiles/ddp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ddp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ddp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ddp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/ddp_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ddp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ddp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_durability"
+  "../bench/bench_table4_durability.pdb"
+  "CMakeFiles/bench_table4_durability.dir/bench_table4_durability.cpp.o"
+  "CMakeFiles/bench_table4_durability.dir/bench_table4_durability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_durability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_verbs.dir/rdma_verbs.cpp.o"
+  "CMakeFiles/rdma_verbs.dir/rdma_verbs.cpp.o.d"
+  "rdma_verbs"
+  "rdma_verbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

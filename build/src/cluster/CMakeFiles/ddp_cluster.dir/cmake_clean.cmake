@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddp_cluster.dir/client.cc.o"
+  "CMakeFiles/ddp_cluster.dir/client.cc.o.d"
+  "CMakeFiles/ddp_cluster.dir/cluster.cc.o"
+  "CMakeFiles/ddp_cluster.dir/cluster.cc.o.d"
+  "libddp_cluster.a"
+  "libddp_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

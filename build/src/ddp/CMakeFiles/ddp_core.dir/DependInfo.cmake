@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ddp/checkers.cc" "src/ddp/CMakeFiles/ddp_core.dir/checkers.cc.o" "gcc" "src/ddp/CMakeFiles/ddp_core.dir/checkers.cc.o.d"
+  "/root/repo/src/ddp/models.cc" "src/ddp/CMakeFiles/ddp_core.dir/models.cc.o" "gcc" "src/ddp/CMakeFiles/ddp_core.dir/models.cc.o.d"
+  "/root/repo/src/ddp/protocol_node.cc" "src/ddp/CMakeFiles/ddp_core.dir/protocol_node.cc.o" "gcc" "src/ddp/CMakeFiles/ddp_core.dir/protocol_node.cc.o.d"
+  "/root/repo/src/ddp/recovery.cc" "src/ddp/CMakeFiles/ddp_core.dir/recovery.cc.o" "gcc" "src/ddp/CMakeFiles/ddp_core.dir/recovery.cc.o.d"
+  "/root/repo/src/ddp/xact_table.cc" "src/ddp/CMakeFiles/ddp_core.dir/xact_table.cc.o" "gcc" "src/ddp/CMakeFiles/ddp_core.dir/xact_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ddp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ddp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ddp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ddp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/ddp_kv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddp_core.dir/checkers.cc.o"
+  "CMakeFiles/ddp_core.dir/checkers.cc.o.d"
+  "CMakeFiles/ddp_core.dir/models.cc.o"
+  "CMakeFiles/ddp_core.dir/models.cc.o.d"
+  "CMakeFiles/ddp_core.dir/protocol_node.cc.o"
+  "CMakeFiles/ddp_core.dir/protocol_node.cc.o.d"
+  "CMakeFiles/ddp_core.dir/recovery.cc.o"
+  "CMakeFiles/ddp_core.dir/recovery.cc.o.d"
+  "CMakeFiles/ddp_core.dir/xact_table.cc.o"
+  "CMakeFiles/ddp_core.dir/xact_table.cc.o.d"
+  "libddp_core.a"
+  "libddp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/blob_store.cc" "src/kv/CMakeFiles/ddp_kv.dir/blob_store.cc.o" "gcc" "src/kv/CMakeFiles/ddp_kv.dir/blob_store.cc.o.d"
+  "/root/repo/src/kv/bplus_tree.cc" "src/kv/CMakeFiles/ddp_kv.dir/bplus_tree.cc.o" "gcc" "src/kv/CMakeFiles/ddp_kv.dir/bplus_tree.cc.o.d"
+  "/root/repo/src/kv/btree.cc" "src/kv/CMakeFiles/ddp_kv.dir/btree.cc.o" "gcc" "src/kv/CMakeFiles/ddp_kv.dir/btree.cc.o.d"
+  "/root/repo/src/kv/hash_table.cc" "src/kv/CMakeFiles/ddp_kv.dir/hash_table.cc.o" "gcc" "src/kv/CMakeFiles/ddp_kv.dir/hash_table.cc.o.d"
+  "/root/repo/src/kv/skip_list.cc" "src/kv/CMakeFiles/ddp_kv.dir/skip_list.cc.o" "gcc" "src/kv/CMakeFiles/ddp_kv.dir/skip_list.cc.o.d"
+  "/root/repo/src/kv/slab_lru.cc" "src/kv/CMakeFiles/ddp_kv.dir/slab_lru.cc.o" "gcc" "src/kv/CMakeFiles/ddp_kv.dir/slab_lru.cc.o.d"
+  "/root/repo/src/kv/store.cc" "src/kv/CMakeFiles/ddp_kv.dir/store.cc.o" "gcc" "src/kv/CMakeFiles/ddp_kv.dir/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ddp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

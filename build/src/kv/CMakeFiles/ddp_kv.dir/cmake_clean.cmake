@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddp_kv.dir/blob_store.cc.o"
+  "CMakeFiles/ddp_kv.dir/blob_store.cc.o.d"
+  "CMakeFiles/ddp_kv.dir/bplus_tree.cc.o"
+  "CMakeFiles/ddp_kv.dir/bplus_tree.cc.o.d"
+  "CMakeFiles/ddp_kv.dir/btree.cc.o"
+  "CMakeFiles/ddp_kv.dir/btree.cc.o.d"
+  "CMakeFiles/ddp_kv.dir/hash_table.cc.o"
+  "CMakeFiles/ddp_kv.dir/hash_table.cc.o.d"
+  "CMakeFiles/ddp_kv.dir/skip_list.cc.o"
+  "CMakeFiles/ddp_kv.dir/skip_list.cc.o.d"
+  "CMakeFiles/ddp_kv.dir/slab_lru.cc.o"
+  "CMakeFiles/ddp_kv.dir/slab_lru.cc.o.d"
+  "CMakeFiles/ddp_kv.dir/store.cc.o"
+  "CMakeFiles/ddp_kv.dir/store.cc.o.d"
+  "libddp_kv.a"
+  "libddp_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddp_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

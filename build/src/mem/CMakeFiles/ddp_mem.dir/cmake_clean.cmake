@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddp_mem.dir/cache.cc.o"
+  "CMakeFiles/ddp_mem.dir/cache.cc.o.d"
+  "CMakeFiles/ddp_mem.dir/memory_device.cc.o"
+  "CMakeFiles/ddp_mem.dir/memory_device.cc.o.d"
+  "libddp_mem.a"
+  "libddp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

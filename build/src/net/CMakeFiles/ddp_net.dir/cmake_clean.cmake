@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddp_net.dir/fabric.cc.o"
+  "CMakeFiles/ddp_net.dir/fabric.cc.o.d"
+  "CMakeFiles/ddp_net.dir/message.cc.o"
+  "CMakeFiles/ddp_net.dir/message.cc.o.d"
+  "CMakeFiles/ddp_net.dir/rdma.cc.o"
+  "CMakeFiles/ddp_net.dir/rdma.cc.o.d"
+  "CMakeFiles/ddp_net.dir/tracer.cc.o"
+  "CMakeFiles/ddp_net.dir/tracer.cc.o.d"
+  "libddp_net.a"
+  "libddp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

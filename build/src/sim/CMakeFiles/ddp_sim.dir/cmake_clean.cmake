@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddp_sim.dir/event_queue.cc.o"
+  "CMakeFiles/ddp_sim.dir/event_queue.cc.o.d"
+  "libddp_sim.a"
+  "libddp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

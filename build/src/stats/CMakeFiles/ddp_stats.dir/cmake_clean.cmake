@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddp_stats.dir/table.cc.o"
+  "CMakeFiles/ddp_stats.dir/table.cc.o.d"
+  "libddp_stats.a"
+  "libddp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddp_workload.dir/trace.cc.o"
+  "CMakeFiles/ddp_workload.dir/trace.cc.o.d"
+  "CMakeFiles/ddp_workload.dir/ycsb.cc.o"
+  "CMakeFiles/ddp_workload.dir/ycsb.cc.o.d"
+  "libddp_workload.a"
+  "libddp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

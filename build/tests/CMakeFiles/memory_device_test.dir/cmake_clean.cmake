@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_device_test.dir/mem/memory_device_test.cc.o"
+  "CMakeFiles/memory_device_test.dir/mem/memory_device_test.cc.o.d"
+  "memory_device_test"
+  "memory_device_test.pdb"
+  "memory_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_soundness_test.dir/cluster/table4_soundness_test.cc.o"
+  "CMakeFiles/table4_soundness_test.dir/cluster/table4_soundness_test.cc.o.d"
+  "table4_soundness_test"
+  "table4_soundness_test.pdb"
+  "table4_soundness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_soundness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpsim.dir/ddpsim.cc.o"
+  "CMakeFiles/ddpsim.dir/ddpsim.cc.o.d"
+  "ddpsim"
+  "ddpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

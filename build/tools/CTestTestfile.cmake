@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(ddpsim_help "/root/repo/build/tools/ddpsim" "--help")
+set_tests_properties(ddpsim_help PROPERTIES  PASS_REGULAR_EXPRESSION "experiment driver" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ddpsim_bad_flag "/root/repo/build/tools/ddpsim" "--no-such-flag" "1")
+set_tests_properties(ddpsim_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ddpsim_tiny_run "/root/repo/build/tools/ddpsim" "--consistency" "eventual" "--persistency" "eventual" "--servers" "2" "--clients-per-server" "2" "--keys" "500" "--warmup-us" "50" "--measure-us" "150")
+set_tests_properties(ddpsim_tiny_run PROPERTIES  PASS_REGULAR_EXPRESSION "<Eventual, Eventual>" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ddpsim_csv "/root/repo/build/tools/ddpsim" "--consistency" "causal" "--persistency" "scope" "--servers" "2" "--clients-per-server" "2" "--keys" "500" "--warmup-us" "50" "--measure-us" "150" "--format" "csv")
+set_tests_properties(ddpsim_csv PROPERTIES  PASS_REGULAR_EXPRESSION "consistency,persistency,throughput_mreqs" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
