@@ -1,5 +1,6 @@
 #include "cluster/cluster.hh"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ddp::cluster {
@@ -9,7 +10,17 @@ Cluster::Cluster(const ClusterConfig &config)
 {
     assert(cfg.numServers >= 2 && "need at least one follower");
 
+    if (cfg.faults.any()) {
+        // A lossy wire needs the reliable-delivery layer or the
+        // protocols would deadlock on the first dropped VAL.
+        cfg.network.reliability.enabled = true;
+        faultPlan = std::make_unique<net::FaultPlan>(
+            cfg.faults, cfg.numServers, cfg.seed);
+    }
+
     net = std::make_unique<net::Fabric>(eq, cfg.network, cfg.numServers);
+    if (faultPlan)
+        net->setFaultPlan(faultPlan.get());
 
     core::NodeParams np = cfg.node;
     np.model = cfg.model;
@@ -44,6 +55,13 @@ Cluster::setChecker(core::PropertyChecker *c)
     checker = c;
     for (auto &n : nodes)
         n->setSink(c);
+}
+
+void
+Cluster::setTracer(net::MessageTracer *t)
+{
+    tracerPtr = t;
+    net->setTracer(t);
 }
 
 void
@@ -171,6 +189,11 @@ Cluster::crashNow()
                 rs.keysInstalled = report.keysInstalled;
                 rs.divergentKeys = report.divergentKeys;
                 rs.recoveryTime = report.duration();
+                rs.timeouts = report.timeouts;
+                rs.retries = report.retries;
+                rs.quorumBatches = report.quorumBatches;
+                rs.quorumFailures = report.quorumFailures;
+                rs.unreachable = report.unreachable;
                 if (checker) {
                     rs.lostAckedWriteKeys = checker->auditLostWrites(
                         [this](net::KeyId key) {
@@ -321,6 +344,42 @@ Cluster::run()
         if (n->causalBufferPeak() > res.causalBufferPeak)
             res.causalBufferPeak = n->causalBufferPeak();
     }
+
+    // Fault / reliability accounting. Whole-run totals, not
+    // measurement-window diffs: a chaos report wants every injected
+    // fault, including warmup ones.
+    res.netDropped = net->droppedMessages();
+    res.netRetransmits = net->retransmits();
+    res.netRtoTimeouts = net->rtoTimeouts();
+    res.netGiveUps = net->retransmitGiveUps();
+    res.netAcks = net->netAcksSent();
+    res.netDuplicateArrivals = net->duplicateArrivals();
+    res.netOutOfOrderArrivals = net->outOfOrderArrivals();
+    if (faultPlan) {
+        res.netDuplicated = faultPlan->duplicatesInjected();
+        res.netDelayed = faultPlan->delaysInjected();
+        res.netReordered = faultPlan->reordersInjected();
+        res.netPartitionDrops = faultPlan->partitionDrops();
+    }
+    if (tracerPtr)
+        res.tracerDropped = tracerPtr->droppedEntries();
+    res.counters["net_dropped"] = res.netDropped;
+    res.counters["net_retransmits"] = res.netRetransmits;
+    res.counters["net_rto_timeouts"] = res.netRtoTimeouts;
+    res.counters["net_give_ups"] = res.netGiveUps;
+
+    for (const RecoveryStats &rs : recoveryLog) {
+        res.recoveryTimeouts += rs.timeouts;
+        res.recoveryRetries += rs.retries;
+        res.recoveryQuorumBatches += rs.quorumBatches;
+        res.recoveryQuorumFailures += rs.quorumFailures;
+        for (net::NodeId n : rs.unreachable) {
+            auto &u = res.unreachableNodes;
+            if (std::find(u.begin(), u.end(), n) == u.end())
+                u.push_back(n);
+        }
+    }
+    std::sort(res.unreachableNodes.begin(), res.unreachableNodes.end());
 
     if (checker) {
         res.monotonicViolations = checker->monotonicViolations();

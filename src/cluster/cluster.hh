@@ -45,6 +45,13 @@ class Cluster
     void setChecker(core::PropertyChecker *c);
 
     /**
+     * Attach a message tracer to the fabric (nullptr detaches; not
+     * owned). Its ring-buffer evictions are surfaced in
+     * RunResult::tracerDropped.
+     */
+    void setTracer(net::MessageTracer *t);
+
+    /**
      * Attach a completion-rate timeline: every client request
      * completion (including warmup) is recorded into @p series,
      * enabling throughput-over-time plots such as the dip and ramp
@@ -108,11 +115,13 @@ class Cluster
     sim::EventQueue eq;
     stats::CounterRegistry ctr;
     core::XactConflictTable xactTable;
+    std::unique_ptr<net::FaultPlan> faultPlan;
     std::unique_ptr<net::Fabric> net;
     std::vector<std::unique_ptr<core::ProtocolNode>> nodes;
     std::vector<std::unique_ptr<Client>> clients;
     core::PropertyChecker *checker = nullptr;
     stats::RateSeries *timeline = nullptr;
+    net::MessageTracer *tracerPtr = nullptr;
 
     bool recording = false;
     stats::Histogram readLat;

@@ -17,6 +17,7 @@
 #include "ddp/models.hh"
 #include "ddp/protocol_node.hh"
 #include "net/fabric.hh"
+#include "net/fault.hh"
 #include "sim/ticks.hh"
 #include "workload/trace.hh"
 #include "workload/ycsb.hh"
@@ -65,6 +66,16 @@ struct ClusterConfig
     const workload::Trace *trace = nullptr;
 
     net::NetworkParams network{};
+
+    /**
+     * Fault-injection plan (drops, duplicates, delays, reorders,
+     * partitions, node outages). When any fault is configured the
+     * cluster automatically enables the fabric's reliable-delivery
+     * layer (network.reliability) so protocol invariants survive the
+     * lossy wire. faults.seed = 0 derives the chaos stream from the
+     * experiment seed, keeping whole runs bit-reproducible.
+     */
+    net::FaultConfig faults{};
     /** Per-node cost/substrate parameters; model, numNodes and
      *  keyCount are overridden from this config. */
     core::NodeParams node{};

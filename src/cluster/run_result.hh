@@ -9,7 +9,9 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "net/message.hh"
 #include "sim/ticks.hh"
 
 namespace ddp::cluster {
@@ -49,8 +51,53 @@ struct RunResult
     std::uint64_t staleReads = 0;
     std::uint64_t lostAckedWriteKeys = 0;
 
+    // --- Fault / reliability accounting (whole-run totals) -----------------
+    /** Messages lost to injected drops or severed links. */
+    std::uint64_t netDropped = 0;
+    /** Duplicate copies the fault plan put on the wire. */
+    std::uint64_t netDuplicated = 0;
+    /** Messages the fault plan delayed. */
+    std::uint64_t netDelayed = 0;
+    /** Messages the fault plan delivered out of order. */
+    std::uint64_t netReordered = 0;
+    /** Messages swallowed by partitions or node outages. */
+    std::uint64_t netPartitionDrops = 0;
+    /** Retransmissions issued by the reliable-delivery layer. */
+    std::uint64_t netRetransmits = 0;
+    /** Retransmission timeouts that fired. */
+    std::uint64_t netRtoTimeouts = 0;
+    /** Messages abandoned after the retransmission retry cap. */
+    std::uint64_t netGiveUps = 0;
+    /** Link-level NET_ACKs the reliable layer sent. */
+    std::uint64_t netAcks = 0;
+    /** Arrivals the reliable layer discarded as duplicates. */
+    std::uint64_t netDuplicateArrivals = 0;
+    /** Arrivals the reliable layer parked for resequencing. */
+    std::uint64_t netOutOfOrderArrivals = 0;
+    /** Trace entries evicted from an attached MessageTracer's ring. */
+    std::uint64_t tracerDropped = 0;
+
+    // --- Degraded-mode recovery accounting (summed over recoveries) --------
+    std::uint64_t recoveryTimeouts = 0;
+    std::uint64_t recoveryRetries = 0;
+    /** Recovery batches that completed short of a full replica set. */
+    std::uint64_t recoveryQuorumBatches = 0;
+    /** Recovery batches that fell below even the majority quorum. */
+    std::uint64_t recoveryQuorumFailures = 0;
+    /** Nodes some recovery declared unreachable (sorted, deduped). */
+    std::vector<net::NodeId> unreachableNodes;
+
     /** All raw counters diffed over the measurement window. */
     std::map<std::string, std::uint64_t> counters;
+
+    /** True when the run saw injected faults or degraded recovery. */
+    bool
+    degraded() const
+    {
+        return netDropped > 0 || netPartitionDrops > 0 ||
+               netGiveUps > 0 || recoveryQuorumBatches > 0 ||
+               recoveryQuorumFailures > 0 || !unreachableNodes.empty();
+    }
 
     /** Fraction of reads that stalled on an unpersisted write. */
     double
@@ -82,6 +129,14 @@ struct RecoveryStats
     sim::Tick recoveryTime = 0;
     /** Acked writes (latest per key) that did not survive. */
     std::uint64_t lostAckedWriteKeys = 0;
+
+    // --- Degraded-mode accounting (SimulatedVoting only) -------------------
+    std::uint64_t timeouts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t quorumBatches = 0;
+    std::uint64_t quorumFailures = 0;
+    /** Replicas that never answered after all retries (sorted). */
+    std::vector<net::NodeId> unreachable;
 };
 
 } // namespace ddp::cluster

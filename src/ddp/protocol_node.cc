@@ -61,8 +61,23 @@ ProtocolNode::ProtocolNode(sim::EventQueue &eq, net::Fabric &fabric,
         broadcast(std::move(m));
     };
     hooks.now = [this] { return this->eq.now(); };
+    hooks.startTimer = [this](sim::Tick delay,
+                              std::function<void()> fire) {
+        // Timer continuations from before a crash must not run into
+        // the post-crash world: guard with the epoch, like messages.
+        std::uint32_t ep = currentEpoch;
+        return this->eq.scheduleTimerIn(
+            delay, [this, ep, fire = std::move(fire)] {
+                if (ep == currentEpoch)
+                    fire();
+            });
+    };
+    hooks.cancelTimer = [this](sim::TimerId id) {
+        this->eq.cancelTimer(id);
+    };
     recovery = std::make_unique<RecoveryAgent>(self, params.numNodes,
-                                               std::move(hooks));
+                                               std::move(hooks),
+                                               params.recoveryTuning);
 
     fabric.attach(self, [this](const Message &m) { handleMessage(m); });
 }
@@ -1304,6 +1319,10 @@ ProtocolNode::processMessage(const Message &msg)
       case MsgType::RecInstall:
       case MsgType::RecAck:
         recovery->onMessage(msg);
+        break;
+      case MsgType::NetAck:
+        // Link-level traffic is consumed by the fabric's reliability
+        // layer and never reaches protocol handlers.
         break;
     }
 }

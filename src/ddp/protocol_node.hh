@@ -134,6 +134,9 @@ struct NodeParams
     mem::MemoryParams dramParams = mem::MemoryParams::dram();
     mem::CacheHierarchyParams cacheParams =
         mem::CacheHierarchyParams::paperDefault();
+
+    /** Timeout/retry/quorum knobs of the crash-recovery coordinator. */
+    RecoveryAgent::Tuning recoveryTuning{};
 };
 
 /**

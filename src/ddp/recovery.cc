@@ -1,5 +1,6 @@
 #include "ddp/recovery.hh"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ddp::core {
@@ -12,7 +13,16 @@ using net::Version;
 
 RecoveryAgent::RecoveryAgent(NodeId self, std::uint32_t num_nodes,
                              Hooks hooks)
-    : self(self), numNodes(num_nodes), hooks(std::move(hooks))
+    : RecoveryAgent(self, num_nodes, std::move(hooks), Tuning())
+{
+}
+
+RecoveryAgent::RecoveryAgent(NodeId self, std::uint32_t num_nodes,
+                             Hooks hooks, Tuning tuning)
+    : self(self),
+      numNodes(num_nodes),
+      hooks(std::move(hooks)),
+      tuning(tuning)
 {
 }
 
@@ -22,13 +32,78 @@ RecoveryAgent::startCoordinator(
     std::function<void(const RecoveryReport &)> done)
 {
     assert(batch > 0);
+    // Cancel any timers of a previous, aborted coordination.
+    for (auto &[id, b] : batches) {
+        (void)id;
+        if (b.timer != sim::kNoTimer && hooks.cancelTimer)
+            hooks.cancelTimer(b.timer);
+    }
     coordinator = CoordinatorState{};
     coordinator.keyCount = key_count;
     coordinator.batchSize = batch;
+    coordinator.unreachable.assign(numNodes, false);
     coordinator.done = std::move(done);
     coordinator.report.startedAt = hooks.now();
     batches.clear();
     launchBatches();
+}
+
+std::uint32_t
+RecoveryAgent::reachableOthers() const
+{
+    std::uint32_t n = 0;
+    for (NodeId node = 0; node < numNodes; ++node) {
+        if (node != self && !coordinator.unreachable[node])
+            ++n;
+    }
+    return n;
+}
+
+Message
+RecoveryAgent::makeQuery(const Batch &b, std::uint64_t id) const
+{
+    Message q;
+    q.type = MsgType::RecQuery;
+    q.src = self;
+    q.key = b.start;
+    q.scopeId = b.length; // range length rides in the scope field
+    q.opId = id;
+    return q;
+}
+
+Message
+RecoveryAgent::makeInstall(const Batch &b, std::uint64_t id) const
+{
+    Message inst;
+    inst.type = MsgType::RecInstall;
+    inst.src = self;
+    inst.key = b.start;
+    inst.scopeId = b.length;
+    inst.opId = id;
+    inst.hasData = true; // winners carry data lines, not just versions
+    inst.cauhist = b.best;
+    return inst;
+}
+
+void
+RecoveryAgent::armBatchTimer(std::uint64_t batch_id, Batch &b)
+{
+    if (!hooks.startTimer || !hooks.cancelTimer)
+        return; // timeouts disabled: legacy perfectly-reliable mode
+    b.timer = hooks.startTimer(
+        tuning.batchTimeout,
+        [this, batch_id] { onBatchTimeout(batch_id); });
+}
+
+void
+RecoveryAgent::markUnreachable(NodeId node)
+{
+    if (coordinator.unreachable[node])
+        return;
+    coordinator.unreachable[node] = true;
+    coordinator.report.unreachable.push_back(node);
+    std::sort(coordinator.report.unreachable.begin(),
+              coordinator.report.unreachable.end());
 }
 
 void
@@ -46,22 +121,35 @@ RecoveryAgent::launchBatches()
         Batch b;
         b.start = start;
         b.length = length;
+        b.retriesLeft = tuning.maxRetries;
+        b.repliedSummary.assign(numNodes, false);
+        b.repliedAck.assign(numNodes, false);
         b.best.assign(length, 0);
         b.differ.assign(length, false);
         // Seed with the coordinator's own durable versions.
         for (std::uint32_t i = 0; i < length; ++i)
             b.best[i] = pack(hooks.persistedVersion(start + i));
-        batches.emplace(id, std::move(b));
+        b.awaitSummaries = reachableOthers();
+
         ++coordinator.inFlight;
         ++coordinator.report.batches;
 
-        Message q;
-        q.type = MsgType::RecQuery;
-        q.src = self;
-        q.key = start;
-        q.scopeId = length; // range length rides in the scope field
-        q.opId = id;
-        hooks.broadcast(q);
+        if (b.awaitSummaries == 0) {
+            // Nobody left to ask: decide from local data alone.
+            auto [it, ok] = batches.emplace(id, std::move(b));
+            (void)ok;
+            decideBatch(id, it->second);
+            continue;
+        }
+
+        Message q = makeQuery(b, id);
+        for (NodeId n = 0; n < numNodes; ++n) {
+            if (n != self && !coordinator.unreachable[n])
+                hooks.send(n, q);
+        }
+        auto [it, ok] = batches.emplace(id, std::move(b));
+        (void)ok;
+        armBatchTimer(id, it->second);
     }
 
     if (coordinator.inFlight == 0 && coordinator.done) {
@@ -97,6 +185,8 @@ void
 RecoveryAgent::handleQuery(const Message &msg)
 {
     // Reply with the packed durable versions of the requested range.
+    // Re-queries after a timeout land here again; replying afresh is
+    // idempotent, so no dedup is needed on the replica side.
     Message reply;
     reply.type = MsgType::RecSummary;
     reply.src = self;
@@ -116,7 +206,10 @@ RecoveryAgent::handleSummary(const Message &msg)
     if (it == batches.end())
         return;
     Batch &b = it->second;
+    if (b.decided || msg.src >= numNodes || b.repliedSummary[msg.src])
+        return; // late or duplicate reply
     assert(msg.cauhist.size() == b.length);
+    b.repliedSummary[msg.src] = true;
 
     for (std::uint32_t i = 0; i < b.length; ++i) {
         std::uint64_t theirs = msg.cauhist[i];
@@ -126,11 +219,21 @@ RecoveryAgent::handleSummary(const Message &msg)
             b.best[i] = theirs;
     }
     ++b.summaries;
-    if (b.summaries < numNodes - 1)
+    if (b.summaries < b.awaitSummaries)
         return;
+    decideBatch(msg.opId, b);
+}
 
-    // All replies in: count results and decide whether anyone needs an
-    // install round.
+void
+RecoveryAgent::decideBatch(std::uint64_t batch_id, Batch &b)
+{
+    if (b.timer != sim::kNoTimer && hooks.cancelTimer) {
+        hooks.cancelTimer(b.timer);
+        b.timer = sim::kNoTimer;
+    }
+    b.decided = true;
+
+    // Count results and decide whether anyone needs an install round.
     bool any_diff = false;
     for (std::uint32_t i = 0; i < b.length; ++i) {
         if (unpack(b.best[i]).number > 0)
@@ -142,31 +245,35 @@ RecoveryAgent::handleSummary(const Message &msg)
     }
 
     if (!any_diff) {
-        finishBatch(msg.opId, b);
+        finishBatch(batch_id, b);
         return;
     }
 
-    // Install the winners locally and on every replica.
+    // Install the winners locally and on every reachable replica.
     for (std::uint32_t i = 0; i < b.length; ++i) {
         Version v = unpack(b.best[i]);
         if (v.number > 0)
             hooks.install(b.start + i, v);
     }
     b.installing = true;
-    Message inst;
-    inst.type = MsgType::RecInstall;
-    inst.src = self;
-    inst.key = b.start;
-    inst.scopeId = b.length;
-    inst.opId = msg.opId;
-    inst.hasData = true; // winners carry data lines, not just versions
-    inst.cauhist = b.best;
-    hooks.broadcast(inst);
+    b.retriesLeft = tuning.maxRetries;
+    b.awaitAcks = reachableOthers();
+    if (b.awaitAcks == 0) {
+        finishBatch(batch_id, b);
+        return;
+    }
+    Message inst = makeInstall(b, batch_id);
+    for (NodeId n = 0; n < numNodes; ++n) {
+        if (n != self && !coordinator.unreachable[n])
+            hooks.send(n, inst);
+    }
+    armBatchTimer(batch_id, b);
 }
 
 void
 RecoveryAgent::handleInstall(const Message &msg)
 {
+    // Idempotent: re-installs after a lost ack write the same winners.
     for (std::uint64_t i = 0; i < msg.scopeId; ++i) {
         Version v = unpack(msg.cauhist[i]);
         if (v.number > 0)
@@ -187,15 +294,81 @@ RecoveryAgent::handleAck(const Message &msg)
     if (it == batches.end())
         return;
     Batch &b = it->second;
+    if (!b.installing || msg.src >= numNodes || b.repliedAck[msg.src])
+        return; // stray or duplicate ack
+    b.repliedAck[msg.src] = true;
     ++b.acks;
-    if (b.acks >= numNodes - 1)
+    if (b.acks >= b.awaitAcks)
         finishBatch(msg.opId, b);
+}
+
+void
+RecoveryAgent::onBatchTimeout(std::uint64_t batch_id)
+{
+    auto it = batches.find(batch_id);
+    if (it == batches.end())
+        return;
+    Batch &b = it->second;
+    b.timer = sim::kNoTimer;
+    ++coordinator.report.timeouts;
+
+    const std::vector<bool> &replied =
+        b.installing ? b.repliedAck : b.repliedSummary;
+    std::vector<NodeId> missing;
+    for (NodeId n = 0; n < numNodes; ++n) {
+        if (n != self && !coordinator.unreachable[n] && !replied[n])
+            missing.push_back(n);
+    }
+
+    if (missing.empty()) {
+        // Every reachable replica answered, but the batch's completion
+        // threshold was fixed at launch, before some replica was
+        // declared unreachable by a sibling batch. Complete from the
+        // answers at hand.
+        if (!b.installing) {
+            if (1 + b.summaries < quorum())
+                ++coordinator.report.quorumFailures;
+            decideBatch(batch_id, b);
+        } else {
+            finishBatch(batch_id, b);
+        }
+        return;
+    }
+
+    if (b.retriesLeft > 0) {
+        --b.retriesLeft;
+        Message m = b.installing ? makeInstall(b, batch_id)
+                                 : makeQuery(b, batch_id);
+        for (NodeId n : missing) {
+            hooks.send(n, m);
+            ++coordinator.report.retries;
+        }
+        armBatchTimer(batch_id, b);
+        return;
+    }
+
+    // Retries exhausted: declare the silent replicas unreachable and
+    // complete the batch from the answers at hand.
+    for (NodeId n : missing)
+        markUnreachable(n);
+    ++coordinator.report.quorumBatches;
+
+    if (!b.installing) {
+        if (1 + b.summaries < quorum())
+            ++coordinator.report.quorumFailures;
+        decideBatch(batch_id, b);
+        return;
+    }
+    finishBatch(batch_id, b);
 }
 
 void
 RecoveryAgent::finishBatch(std::uint64_t batch_id, Batch &b)
 {
-    (void)b;
+    if (b.timer != sim::kNoTimer && hooks.cancelTimer) {
+        hooks.cancelTimer(b.timer);
+        b.timer = sim::kNoTimer;
+    }
     batches.erase(batch_id);
     assert(coordinator.inFlight > 0);
     --coordinator.inFlight;

@@ -12,17 +12,30 @@
  * processing timing instead of a closed-form estimate:
  *
  *   1. The recovery coordinator walks the key space in batches and
- *      broadcasts REC_QUERY(range).
+ *      sends REC_QUERY(range) to every reachable replica.
  *   2. Every replica answers REC_SUMMARY with its packed persisted
  *      versions for the range (8 B per key on the wire).
  *   3. The coordinator takes the per-key maximum. If the replicas
- *      disagree (the divergence weak models accumulate), it broadcasts
+ *      disagree (the divergence weak models accumulate), it sends
  *      REC_INSTALL with the winners; replicas install and REC_ACK.
  *   4. When every batch completes, the report is delivered and clients
  *      may resume.
  *
- * Versions are packed as (number << 8 | writer) in the summary payload;
- * node ids therefore must fit in 8 bits, which they comfortably do.
+ * The protocol is failure-tolerant: each batch phase is guarded by a
+ * cancellable timeout. On expiry the coordinator re-queries (or
+ * re-installs to) exactly the replicas that have not answered, up to
+ * Tuning::maxRetries; after that the missing replicas are declared
+ * unreachable and the batch completes as long as a majority quorum of
+ * ⌈(N+1)/2⌉ summaries (the coordinator's own included) was collected.
+ * Batches that complete without a full replica set are counted as
+ * quorum batches; batches that fall below even the quorum complete
+ * from the data at hand and are counted as quorum failures, so the
+ * coordinator always terminates and reports instead of hanging. All
+ * handlers are idempotent: retransmitted or duplicated REC_* traffic
+ * (a lossy fabric delivers both) is filtered per (batch, replica).
+ *
+ * Versions are packed as (number << 8 | writer) in the summary payload:
+ * 56 bits of version number and 8 bits of writer id (see pack()).
  */
 
 #ifndef DDP_CORE_RECOVERY_HH
@@ -34,6 +47,7 @@
 #include <vector>
 
 #include "net/message.hh"
+#include "sim/event_queue.hh"
 #include "sim/ticks.hh"
 
 namespace ddp::core {
@@ -47,7 +61,18 @@ struct RecoveryReport
     sim::Tick startedAt = 0;
     sim::Tick finishedAt = 0;
 
+    // --- Degraded-mode accounting ------------------------------------------
+    std::uint64_t timeouts = 0;      ///< batch-phase timeouts fired
+    std::uint64_t retries = 0;       ///< targeted re-queries/re-installs
+    std::uint64_t quorumBatches = 0; ///< batches short of a full replica set
+    /** Batches that fell below even the majority quorum (completed
+     *  from the coordinator's own data; treat results as suspect). */
+    std::uint64_t quorumFailures = 0;
+    /** Replicas that never answered after all retries (sorted). */
+    std::vector<net::NodeId> unreachable;
+
     sim::Tick duration() const { return finishedAt - startedAt; }
+    bool degraded() const { return quorumBatches > 0 || quorumFailures > 0; }
 };
 
 /**
@@ -71,15 +96,33 @@ class RecoveryAgent
         std::function<void(net::Message)> broadcast;
         /** Current simulated time. */
         std::function<sim::Tick()> now;
+        /** Arm a cancellable timeout @p delay ticks from now. */
+        std::function<sim::TimerId(sim::Tick, std::function<void()>)>
+            startTimer;
+        /** Cancel a timeout armed with startTimer. */
+        std::function<void(sim::TimerId)> cancelTimer;
     };
 
-    RecoveryAgent(net::NodeId self, std::uint32_t num_nodes,
-                  Hooks hooks);
+    /** Failure-handling knobs of the coordinator role. */
+    struct Tuning
+    {
+        /** Per-batch-phase timeout before missing replicas are
+         *  re-queried (and eventually declared unreachable). */
+        sim::Tick batchTimeout = 100 * sim::kMicrosecond;
+        /** Targeted retry rounds per batch phase before giving a
+         *  replica up as unreachable. */
+        std::uint32_t maxRetries = 3;
+    };
+
+    RecoveryAgent(net::NodeId self, std::uint32_t num_nodes, Hooks hooks);
+    RecoveryAgent(net::NodeId self, std::uint32_t num_nodes, Hooks hooks,
+                  Tuning tuning);
 
     /**
      * Run the voting recovery over [0, key_count) in batches of
      * @p batch keys, reporting to @p done when every batch finished.
      * Call on exactly one node, after all nodes lost volatile state.
+     * Terminates even if replicas are unreachable (see file header).
      */
     void startCoordinator(std::uint64_t key_count, std::uint32_t batch,
                           std::function<void(const RecoveryReport &)>
@@ -91,11 +134,34 @@ class RecoveryAgent
     /** True while a coordinated recovery is in flight. */
     bool active() const { return coordinator.inFlight > 0; }
 
+    /**
+     * Majority quorum of summaries (coordinator's own included) a
+     * batch needs to complete once its retries are exhausted.
+     */
+    std::uint32_t quorum() const { return numNodes / 2 + 1; }
+
     // --- Version packing (exposed for tests) ---------------------------------
+    /** Largest version number that survives pack() unchanged. */
+    static constexpr std::uint64_t kMaxPackableNumber =
+        (std::uint64_t{1} << 56) - 1;
+
+    /**
+     * Pack (number, writer) into one 64-bit summary word: the low 8
+     * bits carry the writer id, the high 56 bits the version number.
+     * Version numbers beyond 2^56-1 saturate to kMaxPackableNumber
+     * (they cannot occur in practice: at one write per nanosecond a
+     * key needs two years to get there) — saturation keeps the packed
+     * ordering monotonic instead of silently wrapping into the writer
+     * bits. Writer ids must fit in 8 bits, which the <=255-node
+     * clusters we simulate always satisfy.
+     */
     static std::uint64_t
     pack(net::Version v)
     {
-        return (v.number << 8) | v.writer;
+        std::uint64_t n = v.number <= kMaxPackableNumber
+                              ? v.number
+                              : kMaxPackableNumber;
+        return (n << 8) | (v.writer & 0xff);
     }
     static net::Version
     unpack(std::uint64_t raw)
@@ -109,9 +175,18 @@ class RecoveryAgent
     {
         net::KeyId start = 0;
         std::uint32_t length = 0;
-        std::uint32_t summaries = 0;
-        std::uint32_t acks = 0;
+        std::uint32_t summaries = 0; ///< distinct remote summaries
+        std::uint32_t acks = 0;      ///< distinct install acks
+        /** Remote summaries / acks outstanding for full completion. */
+        std::uint32_t awaitSummaries = 0;
+        std::uint32_t awaitAcks = 0;
+        std::uint32_t retriesLeft = 0;
         bool installing = false;
+        bool decided = false;
+        sim::TimerId timer = sim::kNoTimer;
+        /** Which replica already answered this phase (dedup). */
+        std::vector<bool> repliedSummary;
+        std::vector<bool> repliedAck;
         /** Per-key running maximum over the replies (packed). */
         std::vector<std::uint64_t> best;
         /** Whether any reply disagreed per key. */
@@ -125,6 +200,8 @@ class RecoveryAgent
         net::KeyId nextStart = 0;
         std::uint32_t inFlight = 0;
         std::uint64_t nextBatchId = 1;
+        /** Replicas declared unreachable (size numNodes). */
+        std::vector<bool> unreachable;
         RecoveryReport report;
         std::function<void(const RecoveryReport &)> done;
     };
@@ -134,11 +211,21 @@ class RecoveryAgent
     void handleSummary(const net::Message &msg);
     void handleInstall(const net::Message &msg);
     void handleAck(const net::Message &msg);
+    /** All (or a quorum of) summaries in: count, maybe install. */
+    void decideBatch(std::uint64_t batch_id, Batch &b);
     void finishBatch(std::uint64_t batch_id, Batch &b);
+    void onBatchTimeout(std::uint64_t batch_id);
+    void armBatchTimer(std::uint64_t batch_id, Batch &b);
+    void markUnreachable(net::NodeId node);
+    /** Count of replicas currently presumed reachable (self excluded). */
+    std::uint32_t reachableOthers() const;
+    net::Message makeQuery(const Batch &b, std::uint64_t id) const;
+    net::Message makeInstall(const Batch &b, std::uint64_t id) const;
 
     net::NodeId self;
     std::uint32_t numNodes;
     Hooks hooks;
+    Tuning tuning;
     CoordinatorState coordinator;
     std::unordered_map<std::uint64_t, Batch> batches;
 

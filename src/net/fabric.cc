@@ -39,7 +39,10 @@ Nic::receive(sim::Tick at, const Message &msg)
 
 Fabric::Fabric(sim::EventQueue &eq, const NetworkParams &params,
                std::size_t num_nodes)
-    : queue(eq), cfg(params), handlers(num_nodes)
+    : queue(eq),
+      cfg(params),
+      handlers(num_nodes),
+      qps(params.reliability.enabled ? num_nodes * num_nodes : 0)
 {
     nics.reserve(num_nodes);
     for (std::size_t n = 0; n < num_nodes; ++n)
@@ -52,6 +55,23 @@ Fabric::attach(NodeId node, Handler handler)
 {
     assert(node < handlers.size());
     handlers[node] = std::move(handler);
+}
+
+Fabric::QpState &
+Fabric::qp(NodeId src, NodeId dst)
+{
+    assert(cfg.reliability.enabled);
+    assert(src < nics.size() && dst < nics.size());
+    return qps[src * nics.size() + dst];
+}
+
+std::uint64_t
+Fabric::unackedMessages() const
+{
+    std::uint64_t total = 0;
+    for (const QpState &q : qps)
+        total += q.inFlight.size();
+    return total;
 }
 
 void
@@ -71,11 +91,53 @@ Fabric::send(const Message &msg)
         return;
     }
 
+    if (cfg.reliability.enabled) {
+        QpState &q = qp(msg.src, msg.dst);
+        Message seqd = msg;
+        seqd.netSeq = q.nextSendSeq++;
+        q.inFlight.emplace(seqd.netSeq,
+                           QpState::Pending{seqd, sim::kNoTimer, 0});
+        armRetransmit(seqd.src, seqd.dst, seqd.netSeq);
+        transmitRaw(seqd);
+        return;
+    }
+
+    transmitRaw(msg);
+}
+
+void
+Fabric::transmitRaw(const Message &msg)
+{
+    if (faults) {
+        if (faults->linkCut(queue.now(), msg.src, msg.dst)) {
+            faults->noteCut();
+            nics[msg.src]->noteDrop();
+            ++dropCount;
+            return;
+        }
+        FaultPlan::Decision d =
+            faults->decide(queue.now(), msg.src, msg.dst);
+        if (d.drop) {
+            nics[msg.src]->noteDrop();
+            ++dropCount;
+            return;
+        }
+        for (std::uint32_t c = 0; c <= d.duplicates; ++c)
+            transmitOnce(msg, d.extraDelay, d.reorder);
+        return;
+    }
+    transmitOnce(msg, 0, false);
+}
+
+void
+Fabric::transmitOnce(const Message &msg, sim::Tick extra_delay,
+                     bool reorder)
+{
     Nic &src = *nics[msg.src];
     Nic &dst = *nics[msg.dst];
 
     sim::Tick tx_done = src.transmit(queue.now(), msg);
-    sim::Tick arrival = tx_done + cfg.roundTrip / 2;
+    sim::Tick arrival = tx_done + cfg.roundTrip / 2 + extra_delay;
     if (cfg.topology == Topology::TwoTier &&
         cfg.rackOf(msg.src) != cfg.rackOf(msg.dst)) {
         // Two extra switch traversals plus serialization on the shared
@@ -84,14 +146,119 @@ Fabric::send(const Message &msg)
         arrival = uplink.acquire(
             arrival, cfg.uplinkSerializationTicks(msg.sizeBytes()));
     }
-    sim::Tick ordered = src.orderDelivery(msg.dst, arrival);
+    // A reorder fault lets this copy overtake the QP's in-order
+    // delivery stream (and leaves the ordering clock untouched).
+    sim::Tick ordered =
+        reorder ? arrival : src.orderDelivery(msg.dst, arrival);
     sim::Tick rx_done = dst.receive(ordered, msg);
 
-    queue.schedule(rx_done, [this, msg] {
-        if (tracer)
-            tracer->record(queue.now(), msg);
-        handlers[msg.dst](msg);
-    });
+    queue.schedule(rx_done, [this, msg] { deliverArrival(msg); });
+}
+
+void
+Fabric::deliverArrival(const Message &msg)
+{
+    if (tracer)
+        tracer->record(queue.now(), msg);
+
+    if (!cfg.reliability.enabled || msg.netSeq == 0) {
+        if (msg.type != MsgType::NetAck)
+            handlers[msg.dst](msg);
+        return;
+    }
+
+    if (msg.type == MsgType::NetAck) {
+        handleNetAck(msg);
+        return;
+    }
+
+    QpState &q = qp(msg.src, msg.dst);
+
+    // Acknowledge every arrival, duplicates included: the original ack
+    // may itself have been lost, and the sender keeps retransmitting
+    // until one gets through.
+    Message ack;
+    ack.type = MsgType::NetAck;
+    ack.src = msg.dst;
+    ack.dst = msg.src;
+    ack.netSeq = msg.netSeq;
+    ++ackCount;
+    transmitRaw(ack);
+
+    if (msg.netSeq < q.nextExpected) {
+        ++dupArrivalCount; // already delivered; filter
+        return;
+    }
+    if (msg.netSeq > q.nextExpected) {
+        ++oooArrivalCount; // park until the gap fills
+        q.resequenceBuf.emplace(msg.netSeq, msg);
+        return;
+    }
+
+    handlers[msg.dst](msg);
+    ++q.nextExpected;
+    auto it = q.resequenceBuf.begin();
+    while (it != q.resequenceBuf.end() &&
+           it->first == q.nextExpected) {
+        Message parked = std::move(it->second);
+        it = q.resequenceBuf.erase(it);
+        ++q.nextExpected;
+        handlers[parked.dst](parked);
+    }
+}
+
+void
+Fabric::handleNetAck(const Message &ack)
+{
+    // ack.src is the receiver of the original message; the sender
+    // state lives on the (ack.dst -> ack.src) queue pair.
+    QpState &q = qp(ack.dst, ack.src);
+    auto it = q.inFlight.find(ack.netSeq);
+    if (it == q.inFlight.end())
+        return; // already acknowledged (duplicate ack)
+    if (it->second.timer != sim::kNoTimer)
+        queue.cancelTimer(it->second.timer);
+    q.inFlight.erase(it);
+}
+
+void
+Fabric::armRetransmit(NodeId src, NodeId dst, std::uint64_t seq)
+{
+    QpState &q = qp(src, dst);
+    auto it = q.inFlight.find(seq);
+    if (it == q.inFlight.end())
+        return;
+    sim::Tick to = cfg.reliability.timeoutFor(it->second.attempt);
+    it->second.timer = queue.scheduleTimerIn(
+        to, [this, src, dst, seq] { onRetransmitTimeout(src, dst, seq); });
+}
+
+void
+Fabric::onRetransmitTimeout(NodeId src, NodeId dst, std::uint64_t seq)
+{
+    QpState &q = qp(src, dst);
+    auto it = q.inFlight.find(seq);
+    if (it == q.inFlight.end())
+        return;
+    QpState::Pending &p = it->second;
+    p.timer = sim::kNoTimer;
+    nics[src]->noteTimeout();
+    ++timeoutCount;
+
+    if (p.attempt >= cfg.reliability.maxRetries) {
+        // Retry budget exhausted: the peer is unreachable. Count the
+        // loss and stop; end-to-end recovery (quorum voting, epoch
+        // checks) deals with the consequences.
+        ++giveUpCount;
+        q.inFlight.erase(it);
+        return;
+    }
+
+    ++p.attempt;
+    nics[src]->noteRetransmit();
+    ++retransmitCount;
+    transmitRaw(p.msg);
+    armRetransmit(src, dst, seq);
 }
 
 void

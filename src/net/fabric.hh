@@ -21,9 +21,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
+#include "net/fault.hh"
 #include "net/message.hh"
 #include "net/tracer.hh"
 #include "sim/event_queue.hh"
@@ -44,6 +46,40 @@ enum class Topology : std::uint8_t
      * uplink. Models the hybrid local/remote deployments of Sec. 9.
      */
     TwoTier,
+};
+
+/**
+ * Reliable-delivery (go-back-on-timeout) parameters. When enabled,
+ * every non-loopback message carries a per-(src, dst) queue-pair
+ * sequence number; the receiver acknowledges each arrival with a
+ * link-level NET_ACK, resequences out-of-order arrivals, and filters
+ * duplicates, while the sender retransmits unacknowledged messages
+ * with exponential backoff up to a retry cap. This restores the RDMA
+ * RC in-order exactly-once contract on top of a lossy FaultPlan wire.
+ */
+struct ReliabilityParams
+{
+    bool enabled = false;
+    /** Initial retransmission timeout (doubles per attempt). */
+    sim::Tick baseTimeout = 10 * sim::kMicrosecond;
+    /** Backoff ceiling for the retransmission timeout. */
+    sim::Tick maxTimeout = 640 * sim::kMicrosecond;
+    /**
+     * Retransmission attempts before the sender gives the message up
+     * for lost (a real RC QP would break the connection; we count it
+     * and move on so partitioned peers cannot wedge the simulation).
+     */
+    std::uint32_t maxRetries = 10;
+
+    /** Backoff-scaled timeout for the given (0-based) attempt. */
+    sim::Tick
+    timeoutFor(std::uint32_t attempt) const
+    {
+        sim::Tick to = baseTimeout;
+        for (std::uint32_t i = 0; i < attempt && to < maxTimeout; ++i)
+            to *= 2;
+        return to < maxTimeout ? to : maxTimeout;
+    }
 };
 
 /** NIC and fabric timing parameters (paper Table 5 defaults). */
@@ -68,6 +104,10 @@ struct NetworkParams
     sim::Tick txOverhead = 10 * sim::kNanosecond;
     /** Fixed per-message RX pipeline overhead. */
     sim::Tick rxOverhead = 10 * sim::kNanosecond;
+
+    /** Reliable-delivery layer (off by default: a perfect wire needs
+     *  neither acks nor retransmissions). */
+    ReliabilityParams reliability{};
 
     /** Serialization time for @p bytes at the line rate. */
     sim::Tick
@@ -128,6 +168,18 @@ class Nic
     std::uint64_t txBytes() const { return txByteCount; }
     std::uint64_t rxMessages() const { return rxCount; }
 
+    // --- Fault / reliability accounting ------------------------------------
+    /** Messages this NIC sent that the fabric dropped or severed. */
+    std::uint64_t txDropped() const { return dropCount; }
+    /** Retransmissions this NIC issued. */
+    std::uint64_t txRetransmits() const { return retransmitCount; }
+    /** Retransmission timeouts that fired on this NIC. */
+    std::uint64_t rtoTimeouts() const { return timeoutCount; }
+
+    void noteDrop() { ++dropCount; }
+    void noteRetransmit() { ++retransmitCount; }
+    void noteTimeout() { ++timeoutCount; }
+
   private:
     NodeId id;
     NetworkParams cfg;
@@ -138,6 +190,9 @@ class Nic
     std::uint64_t txCount = 0;
     std::uint64_t txByteCount = 0;
     std::uint64_t rxCount = 0;
+    std::uint64_t dropCount = 0;
+    std::uint64_t retransmitCount = 0;
+    std::uint64_t timeoutCount = 0;
 };
 
 /**
@@ -171,10 +226,71 @@ class Fabric
     /** Attach a message tracer (nullptr detaches). */
     void setTracer(MessageTracer *t) { tracer = t; }
 
+    /**
+     * Attach a fault-injection plan (nullptr detaches; not owned).
+     * Injection applies to every transmission, including link-level
+     * acks and retransmissions.
+     */
+    void setFaultPlan(FaultPlan *p) { faults = p; }
+    FaultPlan *faultPlan() const { return faults; }
+
     std::uint64_t totalMessages() const { return msgCount; }
     std::uint64_t totalBytes() const { return byteCount; }
 
+    // --- Fault / reliability accounting (whole-fabric totals) --------------
+    /** Messages lost to injected drops or severed links. */
+    std::uint64_t droppedMessages() const { return dropCount; }
+    /** Retransmissions issued across all NICs. */
+    std::uint64_t retransmits() const { return retransmitCount; }
+    /** Retransmission timeouts fired across all NICs. */
+    std::uint64_t rtoTimeouts() const { return timeoutCount; }
+    /** Messages abandoned after the retry cap. */
+    std::uint64_t retransmitGiveUps() const { return giveUpCount; }
+    /** Link-level NET_ACKs sent. */
+    std::uint64_t netAcksSent() const { return ackCount; }
+    /** Arrivals discarded as duplicates by the reliable layer. */
+    std::uint64_t duplicateArrivals() const { return dupArrivalCount; }
+    /** Arrivals parked for resequencing by the reliable layer. */
+    std::uint64_t outOfOrderArrivals() const { return oooArrivalCount; }
+    /** Sequenced messages still awaiting acknowledgment. */
+    std::uint64_t unackedMessages() const;
+
   private:
+    /**
+     * Reliable-delivery state of one directed (src, dst) queue pair:
+     * the sender half lives with src, the receiver half with dst.
+     */
+    struct QpState
+    {
+        struct Pending
+        {
+            Message msg;
+            sim::TimerId timer = sim::kNoTimer;
+            std::uint32_t attempt = 0;
+        };
+
+        // Sender side.
+        std::uint64_t nextSendSeq = 1;
+        std::map<std::uint64_t, Pending> inFlight;
+
+        // Receiver side.
+        std::uint64_t nextExpected = 1;
+        std::map<std::uint64_t, Message> resequenceBuf;
+    };
+
+    QpState &qp(NodeId src, NodeId dst);
+
+    /** Fault-check @p msg and put surviving copies on the wire. */
+    void transmitRaw(const Message &msg);
+    /** Timing path of one physical copy. */
+    void transmitOnce(const Message &msg, sim::Tick extra_delay,
+                      bool reorder);
+    /** Runs at RX completion: reliable-layer filtering + handler. */
+    void deliverArrival(const Message &msg);
+    void handleNetAck(const Message &ack);
+    void armRetransmit(NodeId src, NodeId dst, std::uint64_t seq);
+    void onRetransmitTimeout(NodeId src, NodeId dst, std::uint64_t seq);
+
     sim::EventQueue &queue;
     NetworkParams cfg;
     std::vector<std::unique_ptr<Nic>> nics;
@@ -182,8 +298,18 @@ class Fabric
     /** Shared inter-rack uplink (TwoTier topology). */
     sim::FifoResource uplink;
     MessageTracer *tracer = nullptr;
+    FaultPlan *faults = nullptr;
+    /** Directed queue pairs, row = src (only used when reliable). */
+    std::vector<QpState> qps;
     std::uint64_t msgCount = 0;
     std::uint64_t byteCount = 0;
+    std::uint64_t dropCount = 0;
+    std::uint64_t retransmitCount = 0;
+    std::uint64_t timeoutCount = 0;
+    std::uint64_t giveUpCount = 0;
+    std::uint64_t ackCount = 0;
+    std::uint64_t dupArrivalCount = 0;
+    std::uint64_t oooArrivalCount = 0;
 };
 
 } // namespace ddp::net

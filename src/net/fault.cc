@@ -1,0 +1,98 @@
+#include "net/fault.hh"
+
+#include <cassert>
+
+namespace ddp::net {
+
+FaultPlan::FaultPlan(const FaultConfig &config, std::size_t num_nodes,
+                     std::uint64_t fallback_seed)
+    : numNodes(num_nodes),
+      links(num_nodes * num_nodes, config.allLinks),
+      partitions(config.partitions),
+      outages(config.outages),
+      // A dedicated stream id keeps fault draws independent of the
+      // workload generators sharing the experiment seed.
+      rng(config.seed != 0 ? config.seed
+                           : fallback_seed ^ 0x5eedfa17u,
+          0xfa17)
+{
+    assert(num_nodes > 0);
+}
+
+void
+FaultPlan::setLinkFaults(NodeId src, NodeId dst, const LinkFaults &f)
+{
+    assert(src < numNodes && dst < numNodes);
+    links[src * numNodes + dst] = f;
+}
+
+const LinkFaults &
+FaultPlan::linkOf(NodeId src, NodeId dst) const
+{
+    assert(src < numNodes && dst < numNodes);
+    return links[src * numNodes + dst];
+}
+
+bool
+FaultPlan::nodeCut(sim::Tick now, NodeId node) const
+{
+    for (const NodeOutage &o : outages) {
+        if (o.node == node && now >= o.from && now < o.until)
+            return true;
+    }
+    return false;
+}
+
+bool
+FaultPlan::linkCut(sim::Tick now, NodeId src, NodeId dst) const
+{
+    if (nodeCut(now, src) || nodeCut(now, dst))
+        return true;
+    for (const PartitionWindow &p : partitions) {
+        if (now < p.from || now >= p.until)
+            continue;
+        bool src_in = false, dst_in = false;
+        for (NodeId n : p.groupA) {
+            src_in = src_in || n == src;
+            dst_in = dst_in || n == dst;
+        }
+        if (src_in != dst_in)
+            return true;
+    }
+    return false;
+}
+
+FaultPlan::Decision
+FaultPlan::decide(sim::Tick now, NodeId src, NodeId dst)
+{
+    (void)now;
+    Decision d;
+    const LinkFaults &f = linkOf(src, dst);
+    // Draw only for categories with a non-zero rate so that enabling
+    // one fault class does not perturb the stream of another.
+    if (f.dropRate > 0.0 && rng.nextDouble() < f.dropRate) {
+        d.drop = true;
+        ++dropCount;
+        return d;
+    }
+    if (f.duplicateRate > 0.0 && rng.nextDouble() < f.duplicateRate) {
+        d.duplicates = 1;
+        ++dupCount;
+    }
+    if (f.delayRate > 0.0 && rng.nextDouble() < f.delayRate) {
+        sim::Tick span = f.delayMax > f.delayMin
+                             ? f.delayMax - f.delayMin
+                             : 0;
+        d.extraDelay =
+            f.delayMin +
+            (span == 0 ? 0 : rng.nextU64() % (span + 1));
+        ++delayCount;
+    }
+    if (f.reorderRate > 0.0 && rng.nextDouble() < f.reorderRate) {
+        d.reorder = true;
+        ++reorderCount;
+    }
+    return d;
+}
+
+} // namespace ddp::net

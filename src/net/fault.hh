@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Deterministic fault injection for the simulated fabric.
+ *
+ * A FaultPlan sits between Fabric::send() and the wire. For every
+ * message it decides — from a seeded PCG stream, so chaos runs stay
+ * bit-reproducible — whether the message is dropped, duplicated,
+ * delayed, or delivered out of order on its (src, dst) link, and
+ * whether the link is currently severed by a scheduled partition or a
+ * node outage. The plan is pure policy: the Fabric applies the
+ * decisions and owns all timing.
+ *
+ * Faults compose with the reliable-delivery layer
+ * (NetworkParams::reliability): with reliability enabled a dropped
+ * message is retransmitted after a timeout and reordered messages are
+ * resequenced at the receiver, so protocol invariants that rely on
+ * in-order per-QP delivery survive a lossy wire.
+ */
+
+#ifndef DDP_NET_FAULT_HH
+#define DDP_NET_FAULT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "net/message.hh"
+#include "sim/random.hh"
+#include "sim/ticks.hh"
+
+namespace ddp::net {
+
+/** Per-link fault rates (each message draws independently). */
+struct LinkFaults
+{
+    /** Probability a message is silently dropped. */
+    double dropRate = 0.0;
+    /** Probability a message is delivered twice. */
+    double duplicateRate = 0.0;
+    /** Probability a message takes extra wire latency. */
+    double delayRate = 0.0;
+    /** Extra latency range applied when a delay fires. */
+    sim::Tick delayMin = 1 * sim::kMicrosecond;
+    sim::Tick delayMax = 10 * sim::kMicrosecond;
+    /** Probability a message bypasses the QP's in-order delivery. */
+    double reorderRate = 0.0;
+
+    bool
+    any() const
+    {
+        return dropRate > 0.0 || duplicateRate > 0.0 ||
+               delayRate > 0.0 || reorderRate > 0.0;
+    }
+};
+
+/**
+ * A scheduled network partition: during [from, until) the nodes in
+ * @p groupA cannot exchange messages with the nodes outside it.
+ * Traffic within either side is unaffected.
+ */
+struct PartitionWindow
+{
+    sim::Tick from = 0;
+    sim::Tick until = sim::kTickNever;
+    std::vector<NodeId> groupA;
+};
+
+/**
+ * A node outage window: during [from, until) every link to and from
+ * @p node is severed (the node itself keeps executing — it is
+ * unreachable, not halted — modeling a NIC/ToR failure).
+ */
+struct NodeOutage
+{
+    NodeId node = 0;
+    sim::Tick from = 0;
+    sim::Tick until = sim::kTickNever;
+};
+
+/** Declarative fault-injection description (cluster config level). */
+struct FaultConfig
+{
+    /**
+     * RNG seed for fault decisions; 0 derives a stream from the
+     * experiment seed so the same experiment seed reproduces the same
+     * chaos.
+     */
+    std::uint64_t seed = 0;
+
+    /** Fault rates applied to every (src, dst) link. */
+    LinkFaults allLinks{};
+
+    std::vector<PartitionWindow> partitions;
+    std::vector<NodeOutage> outages;
+
+    bool
+    any() const
+    {
+        return allLinks.any() || !partitions.empty() || !outages.empty();
+    }
+};
+
+/**
+ * Instantiated fault plan. Attach to a Fabric via setFaultPlan(); the
+ * fabric consults it once per transmitted message (including
+ * retransmissions and link-level acks, which are just as vulnerable).
+ */
+class FaultPlan
+{
+  public:
+    FaultPlan(const FaultConfig &config, std::size_t num_nodes,
+              std::uint64_t fallback_seed = 1);
+
+    /** Override the fault rates of one directed link. */
+    void setLinkFaults(NodeId src, NodeId dst, const LinkFaults &f);
+
+    /** Fault verdict for one transmission attempt. */
+    struct Decision
+    {
+        bool drop = false;
+        std::uint32_t duplicates = 0;
+        sim::Tick extraDelay = 0;
+        bool reorder = false;
+    };
+
+    /**
+     * Draw the fault decision for a message leaving on (src, dst) at
+     * @p now. Consumes RNG state; call exactly once per transmission
+     * attempt to keep runs reproducible.
+     */
+    Decision decide(sim::Tick now, NodeId src, NodeId dst);
+
+    /**
+     * True while (src, dst) is severed by a partition window or a node
+     * outage at @p now. Checked before decide(); severed-link drops do
+     * not consume RNG state.
+     */
+    bool linkCut(sim::Tick now, NodeId src, NodeId dst) const;
+
+    /** True while @p node is inside one of its outage windows. */
+    bool nodeCut(sim::Tick now, NodeId node) const;
+
+    // --- Injection counters -------------------------------------------------
+    std::uint64_t drops() const { return dropCount; }
+    std::uint64_t duplicatesInjected() const { return dupCount; }
+    std::uint64_t delaysInjected() const { return delayCount; }
+    std::uint64_t reordersInjected() const { return reorderCount; }
+    /** Messages swallowed by a severed link (partition or outage). */
+    std::uint64_t partitionDrops() const { return cutCount; }
+
+  private:
+    const LinkFaults &linkOf(NodeId src, NodeId dst) const;
+
+    std::size_t numNodes;
+    std::vector<LinkFaults> links; ///< numNodes * numNodes, row = src
+    std::vector<PartitionWindow> partitions;
+    std::vector<NodeOutage> outages;
+    sim::Pcg32 rng;
+
+    std::uint64_t dropCount = 0;
+    std::uint64_t dupCount = 0;
+    std::uint64_t delayCount = 0;
+    std::uint64_t reorderCount = 0;
+    std::uint64_t cutCount = 0;
+
+    friend class Fabric; ///< counts severed-link drops via noteCut()
+    void noteCut() { ++cutCount; }
+};
+
+} // namespace ddp::net
+
+#endif // DDP_NET_FAULT_HH

@@ -21,6 +21,7 @@ msgTypeName(MsgType t)
       case MsgType::RecSummary: return "REC_SUMMARY";
       case MsgType::RecInstall: return "REC_INSTALL";
       case MsgType::RecAck: return "REC_ACK";
+      case MsgType::NetAck: return "NET_ACK";
     }
     return "?";
 }
@@ -28,6 +29,10 @@ msgTypeName(MsgType t)
 std::uint32_t
 Message::sizeBytes() const
 {
+    // Link-level acks are bare (seq + headers), like RDMA ACK/NAK
+    // packets.
+    if (type == MsgType::NetAck)
+        return 16;
     // Header: type + src/dst + key + version + opId + scope + xact.
     std::uint32_t size = 48;
     if (hasData)

@@ -87,6 +87,14 @@ enum class MsgType : std::uint8_t
     RecSummary, ///< replica's packed versions for the range
     RecInstall, ///< winners the replicas must install
     RecAck,     ///< installation finished
+
+    /**
+     * Link-level delivery acknowledgment of the reliable-delivery
+     * layer (NIC firmware, not protocol traffic): acknowledges the
+     * per-QP sequence number in netSeq. Never surfaced to protocol
+     * handlers, never itself acknowledged or retransmitted.
+     */
+    NetAck,
 };
 
 /** Human-readable message-type name (for traces and tests). */
@@ -127,6 +135,13 @@ struct Message
      * older epoch, modeling in-flight traffic lost to a crash.
      */
     std::uint32_t epoch = 0;
+
+    /**
+     * Per-(src, dst) queue-pair sequence number assigned by the
+     * reliable-delivery layer (0 = unsequenced). For NetAck this is
+     * the sequence number being acknowledged.
+     */
+    std::uint64_t netSeq = 0;
 
     /** Wire size, used for NIC serialization timing. */
     std::uint32_t sizeBytes() const;

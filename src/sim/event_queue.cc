@@ -9,12 +9,49 @@ void
 EventQueue::schedule(Tick when, EventFn fn)
 {
     assert(when >= _now && "cannot schedule an event in the past");
-    events.push(Entry{when, nextSeq++, std::move(fn)});
+    events.push(Entry{when, nextSeq++, std::move(fn), kNoTimer});
+}
+
+TimerId
+EventQueue::scheduleTimer(Tick when, EventFn fn)
+{
+    assert(when >= _now && "cannot schedule a timer in the past");
+    TimerId id = nextTimerId++;
+    liveTimers.insert(id);
+    events.push(Entry{when, nextSeq++, std::move(fn), id});
+    return id;
+}
+
+bool
+EventQueue::cancelTimer(TimerId id)
+{
+    if (id == kNoTimer || liveTimers.erase(id) == 0)
+        return false;
+    cancelledTimers.insert(id);
+    ++cancelledPending;
+    return true;
+}
+
+void
+EventQueue::purgeCancelled()
+{
+    while (!events.empty()) {
+        const Entry &top = events.top();
+        if (top.timer == kNoTimer ||
+            cancelledTimers.count(top.timer) == 0) {
+            return;
+        }
+        cancelledTimers.erase(top.timer);
+        assert(cancelledPending > 0);
+        --cancelledPending;
+        events.pop();
+    }
 }
 
 bool
 EventQueue::step()
 {
+    purgeCancelled();
     if (events.empty())
         return false;
 
@@ -26,6 +63,8 @@ EventQueue::step()
     assert(entry.when >= _now);
     _now = entry.when;
     ++executed;
+    if (entry.timer != kNoTimer)
+        liveTimers.erase(entry.timer);
     entry.fn();
     return true;
 }
@@ -40,8 +79,12 @@ EventQueue::run()
 void
 EventQueue::runUntil(Tick limit)
 {
-    while (!events.empty() && events.top().when <= limit)
+    for (;;) {
+        purgeCancelled();
+        if (events.empty() || events.top().when > limit)
+            break;
         step();
+    }
     if (_now < limit)
         _now = limit;
 }
@@ -51,6 +94,9 @@ EventQueue::clear()
 {
     while (!events.empty())
         events.pop();
+    liveTimers.clear();
+    cancelledTimers.clear();
+    cancelledPending = 0;
 }
 
 } // namespace ddp::sim

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/ticks.hh"
@@ -23,6 +24,12 @@ namespace ddp::sim {
 
 /** Callback type executed when an event fires. */
 using EventFn = std::function<void()>;
+
+/** Handle of a cancellable timer; 0 is "no timer". */
+using TimerId = std::uint64_t;
+
+/** The null TimerId. */
+constexpr TimerId kNoTimer = 0;
 
 /**
  * A deterministic discrete-event queue.
@@ -42,8 +49,11 @@ class EventQueue
     /** Current simulated time. */
     Tick now() const { return _now; }
 
-    /** Number of events waiting to fire. */
-    std::size_t pendingEvents() const { return events.size(); }
+    /** Number of events waiting to fire (cancelled timers excluded). */
+    std::size_t pendingEvents() const
+    {
+        return events.size() - cancelledPending;
+    }
 
     /** Total number of events executed so far. */
     std::uint64_t executedEvents() const { return executed; }
@@ -56,6 +66,39 @@ class EventQueue
 
     /** Schedule @p fn to run @p delay ticks from now. */
     void scheduleIn(Tick delay, EventFn fn) { schedule(_now + delay, std::move(fn)); }
+
+    /**
+     * Schedule a *cancellable* timer firing at absolute time @p when.
+     * The returned handle can be passed to cancelTimer() any time
+     * before the timer fires. Timers obey the same deterministic
+     * FIFO-per-tick ordering as plain events; cancellation leaves the
+     * heap entry in place but skips it (and does not advance time for
+     * it) when it reaches the front.
+     */
+    TimerId scheduleTimer(Tick when, EventFn fn);
+
+    /** Schedule a cancellable timer @p delay ticks from now. */
+    TimerId
+    scheduleTimerIn(Tick delay, EventFn fn)
+    {
+        return scheduleTimer(_now + delay, std::move(fn));
+    }
+
+    /**
+     * Cancel a pending timer.
+     * @return true if the timer was still pending and is now cancelled;
+     *         false if it already fired, was already cancelled, or the
+     *         handle is kNoTimer / unknown.
+     */
+    bool cancelTimer(TimerId id);
+
+    /** True while @p id names a timer that has not fired or been
+     *  cancelled. */
+    bool
+    timerPending(TimerId id) const
+    {
+        return id != kNoTimer && liveTimers.count(id) != 0;
+    }
 
     /**
      * Execute the next event, advancing time to its timestamp.
@@ -82,7 +125,11 @@ class EventQueue
         Tick when;
         std::uint64_t seq;
         EventFn fn;
+        TimerId timer = kNoTimer;
     };
+
+    /** Pop cancelled timer entries off the front of the heap. */
+    void purgeCancelled();
 
     struct EntryCompare
     {
@@ -100,6 +147,13 @@ class EventQueue
     Tick _now = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t executed = 0;
+
+    /** Timers scheduled but not yet fired or cancelled. */
+    std::unordered_set<TimerId> liveTimers;
+    /** Cancelled timers whose heap entries have not surfaced yet. */
+    std::unordered_set<TimerId> cancelledTimers;
+    std::size_t cancelledPending = 0;
+    TimerId nextTimerId = 1;
 };
 
 } // namespace ddp::sim

@@ -15,6 +15,7 @@
 #include "ddp/protocol_node.hh"
 #include "ddp/recovery.hh"
 #include "net/fabric.hh"
+#include "net/fault.hh"
 #include "net/tracer.hh"
 #include "sim/event_queue.hh"
 #include "stats/counter.hh"
@@ -38,21 +39,53 @@ TEST(RecoveryPacking, RoundTrips)
     }
 }
 
+TEST(RecoveryPacking, RoundTripsAtThe56BitBoundary)
+{
+    Version v{RecoveryAgent::kMaxPackableNumber, 9};
+    EXPECT_EQ(RecoveryAgent::unpack(RecoveryAgent::pack(v)), v);
+}
+
+TEST(RecoveryPacking, SaturatesInsteadOfTruncating)
+{
+    // Version numbers beyond 2^56-1 used to shift their top bits into
+    // the writer field; they now saturate, so the packed ordering
+    // stays monotonic and the writer id survives intact.
+    Version over{RecoveryAgent::kMaxPackableNumber + 1, 42};
+    Version unpacked = RecoveryAgent::unpack(RecoveryAgent::pack(over));
+    EXPECT_EQ(unpacked.number, RecoveryAgent::kMaxPackableNumber);
+    EXPECT_EQ(unpacked.writer, 42u);
+
+    Version huge{~0ull, 7};
+    Version small{1, 0};
+    EXPECT_GT(RecoveryAgent::pack(huge), RecoveryAgent::pack(small));
+    EXPECT_EQ(RecoveryAgent::unpack(RecoveryAgent::pack(huge)).writer,
+              7u);
+}
+
 namespace {
 
 struct RecoveryHarness
 {
     sim::EventQueue eq;
     net::NetworkParams netp;
+    std::unique_ptr<net::FaultPlan> plan;
     std::unique_ptr<net::Fabric> fabric;
     net::MessageTracer tracer;
     stats::CounterRegistry ctr;
     std::vector<std::unique_ptr<ProtocolNode>> nodes;
 
-    explicit RecoveryHarness(DdpModel model, std::uint32_t servers = 3,
-                             std::uint64_t keys = 64)
+    explicit RecoveryHarness(
+        DdpModel model, std::uint32_t servers = 3,
+        std::uint64_t keys = 64, const net::FaultConfig *fc = nullptr,
+        RecoveryAgent::Tuning tuning = RecoveryAgent::Tuning())
     {
+        if (fc) {
+            netp.reliability.enabled = true;
+            plan = std::make_unique<net::FaultPlan>(*fc, servers);
+        }
         fabric = std::make_unique<net::Fabric>(eq, netp, servers);
+        if (plan)
+            fabric->setFaultPlan(plan.get());
         fabric->setTracer(&tracer);
         NodeParams np;
         np.model = model;
@@ -61,6 +94,7 @@ struct RecoveryHarness
         np.opProcessing = 100 * kNanosecond;
         np.msgProcessing = 50 * kNanosecond;
         np.probeCost = 0;
+        np.recoveryTuning = tuning;
         for (std::uint32_t n = 0; n < servers; ++n) {
             nodes.push_back(std::make_unique<ProtocolNode>(
                 eq, *fabric, n, np, ctr, nullptr));
@@ -176,6 +210,149 @@ TEST(SimulatedRecovery, MoreDivergenceCostsMoreTime)
 }
 
 // --------------------------------------------------------------------------
+// Degraded mode: timeouts, quorum, unreachable replicas
+// --------------------------------------------------------------------------
+
+TEST(DegradedRecovery, UnreachableReplicaTerminatesViaQuorum)
+{
+    // Node 2's links are severed for the whole run: the coordinator
+    // must still terminate, completing each batch on the majority
+    // quorum (itself + node 1) and reporting node 2 unreachable.
+    net::FaultConfig fc;
+    fc.seed = 3;
+    fc.outages.push_back(net::NodeOutage{2, 0, sim::kTickNever});
+    RecoveryAgent::Tuning tuning;
+    tuning.batchTimeout = 30 * kMicrosecond;
+    tuning.maxRetries = 2;
+    RecoveryHarness h({Consistency::Causal, Persistency::Synchronous},
+                      3, 64, &fc, tuning);
+
+    h.nodes[0]->installRecovered(5, Version{3, 0});
+    h.nodes[1]->installRecovered(5, Version{7, 1});
+    for (auto &n : h.nodes)
+        n->crashVolatile();
+
+    std::optional<RecoveryReport> report;
+    h.nodes[0]->recoveryAgent().startCoordinator(
+        64, 16, [&](const RecoveryReport &r) { report = r; });
+    h.eq.run();
+
+    ASSERT_TRUE(report.has_value()) << "coordinator hung";
+    EXPECT_EQ(report->unreachable, std::vector<NodeId>{2});
+    EXPECT_GT(report->timeouts, 0u);
+    EXPECT_GT(report->retries, 0u);
+    EXPECT_GT(report->quorumBatches, 0u);
+    EXPECT_EQ(report->quorumFailures, 0u); // 2 of 3 is a majority
+    EXPECT_TRUE(report->degraded());
+    // The reachable majority still reconciled.
+    EXPECT_EQ(h.nodes[0]->visibleVersion(5), (Version{7, 1}));
+    EXPECT_EQ(h.nodes[1]->visibleVersion(5), (Version{7, 1}));
+}
+
+TEST(DegradedRecovery, AllReplicasUnreachableCountsQuorumFailures)
+{
+    net::FaultConfig fc;
+    fc.seed = 3;
+    fc.outages.push_back(net::NodeOutage{1, 0, sim::kTickNever});
+    fc.outages.push_back(net::NodeOutage{2, 0, sim::kTickNever});
+    RecoveryAgent::Tuning tuning;
+    tuning.batchTimeout = 30 * kMicrosecond;
+    tuning.maxRetries = 1;
+    RecoveryHarness h({Consistency::Causal, Persistency::Synchronous},
+                      3, 32, &fc, tuning);
+    for (auto &n : h.nodes)
+        n->crashVolatile();
+
+    std::optional<RecoveryReport> report;
+    h.nodes[0]->recoveryAgent().startCoordinator(
+        32, 16, [&](const RecoveryReport &r) { report = r; });
+    h.eq.run();
+
+    ASSERT_TRUE(report.has_value()) << "coordinator hung";
+    EXPECT_EQ(report->unreachable, (std::vector<NodeId>{1, 2}));
+    EXPECT_GT(report->quorumFailures, 0u);
+    EXPECT_TRUE(report->degraded());
+}
+
+TEST(DegradedRecovery, AgentTimeoutsRecoverLostMessagesWithoutLinkRetx)
+{
+    // Reliability off: a dropped REC_* message is gone for good, and
+    // only the agent's own batch timeouts + targeted retries can save
+    // the run. 40% loss makes timeouts certain; retries redraw the
+    // loss dice until the round trip lands.
+    net::FaultConfig fc;
+    fc.seed = 21;
+    fc.allLinks.dropRate = 0.4;
+    RecoveryAgent::Tuning tuning;
+    tuning.batchTimeout = 20 * kMicrosecond;
+    tuning.maxRetries = 16;
+    sim::EventQueue eq;
+    net::NetworkParams netp; // reliability off
+    net::FaultPlan plan(fc, 3);
+    net::Fabric fabric(eq, netp, 3);
+    fabric.setFaultPlan(&plan);
+    stats::CounterRegistry ctr;
+    NodeParams np;
+    np.model = {Consistency::Causal, Persistency::Synchronous};
+    np.numNodes = 3;
+    np.keyCount = 64;
+    np.opProcessing = 100 * kNanosecond;
+    np.msgProcessing = 50 * kNanosecond;
+    np.probeCost = 0;
+    np.recoveryTuning = tuning;
+    std::vector<std::unique_ptr<ProtocolNode>> nodes;
+    for (std::uint32_t n = 0; n < 3; ++n) {
+        nodes.push_back(std::make_unique<ProtocolNode>(
+            eq, fabric, n, np, ctr, nullptr));
+    }
+    nodes[1]->installRecovered(9, Version{5, 1});
+    for (auto &n : nodes)
+        n->crashVolatile();
+
+    std::optional<RecoveryReport> report;
+    nodes[0]->recoveryAgent().startCoordinator(
+        64, 16, [&](const RecoveryReport &r) { report = r; });
+    eq.run();
+
+    ASSERT_TRUE(report.has_value()) << "coordinator hung";
+    EXPECT_GT(report->timeouts, 0u);
+    EXPECT_GT(report->retries, 0u);
+    EXPECT_GT(plan.drops(), 0u);
+    // With 16 retries per phase the run survives 40% loss without
+    // giving any replica up (deterministic for this seed).
+    EXPECT_TRUE(report->unreachable.empty());
+    EXPECT_EQ(nodes[0]->visibleVersion(9), (Version{5, 1}));
+    EXPECT_EQ(nodes[2]->visibleVersion(9), (Version{5, 1}));
+}
+
+TEST(DegradedRecovery, DuplicatedRepliesAreCountedOnce)
+{
+    // 100% duplication: every REC_SUMMARY and REC_ACK arrives at least
+    // twice at the link layer; reliable-delivery dedup plus the
+    // agent's per-(batch, replica) filtering must count each once.
+    net::FaultConfig fc;
+    fc.seed = 11;
+    fc.allLinks.duplicateRate = 1.0;
+    RecoveryHarness h({Consistency::Causal, Persistency::Synchronous},
+                      3, 64, &fc);
+    h.nodes[1]->installRecovered(9, Version{5, 1});
+    for (auto &n : h.nodes)
+        n->crashVolatile();
+
+    std::optional<RecoveryReport> report;
+    h.nodes[0]->recoveryAgent().startCoordinator(
+        64, 16, [&](const RecoveryReport &r) { report = r; });
+    h.eq.run();
+
+    ASSERT_TRUE(report.has_value());
+    EXPECT_TRUE(report->unreachable.empty());
+    EXPECT_FALSE(report->degraded());
+    EXPECT_EQ(report->batches, 4u);
+    for (auto &n : h.nodes)
+        EXPECT_EQ(n->visibleVersion(9), (Version{5, 1}));
+}
+
+// --------------------------------------------------------------------------
 // Cluster integration
 // --------------------------------------------------------------------------
 
@@ -230,4 +407,39 @@ TEST(SimulatedRecovery, WeakerModelsRecoverSlower)
     // either way — the controlled unit test above isolates the time
     // effect.)
     EXPECT_GT(weak_rs.divergentKeys, strict_rs.divergentKeys * 3);
+}
+
+TEST(SimulatedRecovery, ClusterReportsUnreachableNodeInRunResult)
+{
+    cluster::ClusterConfig cfg;
+    cfg.model = {Consistency::Causal, Persistency::Synchronous};
+    cfg.numServers = 3;
+    cfg.clientsPerServer = 2;
+    cfg.keyCount = 1000;
+    cfg.workload = workload::WorkloadSpec::ycsbA(1000);
+    cfg.warmup = 100 * sim::kMicrosecond;
+    cfg.measure = 2000 * sim::kMicrosecond;
+    cfg.recovery = cluster::RecoveryPolicy::SimulatedVoting;
+    cfg.recoveryBatch = 256;
+    cfg.seed = 7;
+    // Node 2 becomes unreachable shortly before the crash and stays
+    // down; recovery must terminate via timeout + quorum and the run
+    // must surface the node.
+    cfg.faults.outages.push_back(
+        net::NodeOutage{2, 250 * sim::kMicrosecond, sim::kTickNever});
+    cfg.node.recoveryTuning.batchTimeout = 30 * sim::kMicrosecond;
+    cfg.node.recoveryTuning.maxRetries = 2;
+
+    cluster::Cluster cl(cfg);
+    cl.scheduleCrash(300 * sim::kMicrosecond);
+    cluster::RunResult r = cl.run();
+
+    ASSERT_EQ(cl.recoveries().size(), 1u) << "recovery never finished";
+    EXPECT_EQ(cl.recoveries()[0].unreachable,
+              std::vector<NodeId>{2});
+    EXPECT_EQ(r.unreachableNodes, std::vector<NodeId>{2});
+    EXPECT_GT(r.recoveryTimeouts, 0u);
+    EXPECT_GT(r.recoveryQuorumBatches, 0u);
+    EXPECT_TRUE(r.degraded());
+    EXPECT_GT(r.reads + r.writes, 0u) << "clients never resumed";
 }

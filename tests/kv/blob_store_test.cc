@@ -35,12 +35,12 @@ TEST(BlobStore, MissingKeyMisses)
 TEST(BlobStore, BinarySafeValues)
 {
     BlobStore s;
-    std::string value("\x00\x01\xff payload \x00 tail", 20);
+    std::string value("\x00\x01\xff payload \x00 tail", 18);
     ASSERT_TRUE(s.put(9, value));
     std::string out;
     ASSERT_TRUE(s.get(9, out));
     EXPECT_EQ(out, value);
-    EXPECT_EQ(out.size(), 20u);
+    EXPECT_EQ(out.size(), 18u);
 }
 
 TEST(BlobStore, OverwriteSameClassReusesChunk)

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Unit tests for the fault-injection plan and the fabric's
+ * reliable-delivery layer: seeded determinism, drop/duplicate/reorder
+ * injection, link cuts, retransmission, receiver-side dedup and
+ * resequencing, and the retry give-up path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/fabric.hh"
+#include "net/fault.hh"
+#include "net/message.hh"
+#include "sim/event_queue.hh"
+
+using namespace ddp::net;
+using ddp::sim::EventQueue;
+using ddp::sim::kMicrosecond;
+using ddp::sim::kMillisecond;
+using ddp::sim::kTickNever;
+using ddp::sim::Tick;
+
+namespace {
+
+FaultConfig
+dropConfig(double rate, std::uint64_t seed = 7)
+{
+    FaultConfig fc;
+    fc.seed = seed;
+    fc.allLinks.dropRate = rate;
+    return fc;
+}
+
+/** Fabric + per-node delivery logs, optionally lossy + reliable. */
+struct Harness
+{
+    EventQueue eq;
+    NetworkParams params;
+    std::unique_ptr<FaultPlan> plan;
+    std::unique_ptr<Fabric> fabric;
+    std::vector<std::vector<Message>> delivered;
+
+    explicit Harness(std::size_t nodes, const FaultConfig *fc = nullptr,
+                     bool reliable = false)
+        : delivered(nodes)
+    {
+        params.reliability.enabled = reliable;
+        fabric = std::make_unique<Fabric>(eq, params, nodes);
+        if (fc) {
+            plan = std::make_unique<FaultPlan>(*fc, nodes);
+            fabric->setFaultPlan(plan.get());
+        }
+        for (NodeId n = 0; n < nodes; ++n) {
+            fabric->attach(n, [this, n](const Message &m) {
+                delivered[n].push_back(m);
+            });
+        }
+    }
+
+    Message
+    msg(NodeId src, NodeId dst, std::uint64_t op) const
+    {
+        Message m;
+        m.type = MsgType::Inv;
+        m.src = src;
+        m.dst = dst;
+        m.opId = op;
+        return m;
+    }
+};
+
+} // namespace
+
+TEST(FaultPlan, SameSeedSameDecisions)
+{
+    FaultConfig fc = dropConfig(0.3);
+    FaultPlan a(fc, 3), b(fc, 3);
+    for (int i = 0; i < 200; ++i) {
+        auto da = a.decide(0, 0, 1);
+        auto db = b.decide(0, 0, 1);
+        EXPECT_EQ(da.drop, db.drop) << "draw " << i;
+    }
+    EXPECT_EQ(a.drops(), b.drops());
+    EXPECT_GT(a.drops(), 0u);
+}
+
+TEST(FaultPlan, ZeroSeedDerivesFromExperimentSeed)
+{
+    FaultConfig fc = dropConfig(0.3, 0);
+    FaultPlan a(fc, 3, 11), b(fc, 3, 11), c(fc, 3, 12);
+    bool diverged = false;
+    for (int i = 0; i < 200; ++i) {
+        auto da = a.decide(0, 0, 1);
+        auto db = b.decide(0, 0, 1);
+        auto dc = c.decide(0, 0, 1);
+        EXPECT_EQ(da.drop, db.drop);
+        if (da.drop != dc.drop)
+            diverged = true;
+    }
+    EXPECT_TRUE(diverged) << "different experiment seeds, same chaos";
+}
+
+TEST(FaultPlan, RatesRoughlyRespected)
+{
+    FaultConfig fc = dropConfig(0.1);
+    FaultPlan p(fc, 2);
+    int drops = 0;
+    for (int i = 0; i < 10000; ++i)
+        drops += p.decide(0, 0, 1).drop ? 1 : 0;
+    EXPECT_NEAR(drops, 1000, 200);
+}
+
+TEST(FaultPlan, PerLinkOverrideOnlyAffectsThatLink)
+{
+    FaultConfig fc; // no global faults
+    fc.seed = 5;
+    FaultPlan p(fc, 3);
+    LinkFaults lossy;
+    lossy.dropRate = 1.0;
+    p.setLinkFaults(0, 1, lossy);
+    EXPECT_TRUE(p.decide(0, 0, 1).drop);
+    EXPECT_FALSE(p.decide(0, 1, 0).drop);
+    EXPECT_FALSE(p.decide(0, 0, 2).drop);
+}
+
+TEST(FaultPlan, PartitionSeversCrossTraffic)
+{
+    FaultConfig fc;
+    fc.seed = 5;
+    PartitionWindow w;
+    w.from = 10 * kMicrosecond;
+    w.until = 20 * kMicrosecond;
+    w.groupA = {0};
+    fc.partitions.push_back(w);
+    FaultPlan p(fc, 3);
+
+    EXPECT_FALSE(p.linkCut(0, 0, 1));
+    EXPECT_TRUE(p.linkCut(15 * kMicrosecond, 0, 1));
+    EXPECT_TRUE(p.linkCut(15 * kMicrosecond, 2, 0));
+    // Same side of the cut: unaffected.
+    EXPECT_FALSE(p.linkCut(15 * kMicrosecond, 1, 2));
+    // Healed.
+    EXPECT_FALSE(p.linkCut(20 * kMicrosecond, 0, 1));
+}
+
+TEST(FaultPlan, OutageSeversBothDirections)
+{
+    FaultConfig fc;
+    fc.seed = 5;
+    fc.outages.push_back(NodeOutage{1, 5 * kMicrosecond, kTickNever});
+    FaultPlan p(fc, 3);
+
+    EXPECT_FALSE(p.linkCut(0, 0, 1));
+    EXPECT_TRUE(p.linkCut(5 * kMicrosecond, 0, 1));
+    EXPECT_TRUE(p.linkCut(5 * kMicrosecond, 1, 0));
+    EXPECT_FALSE(p.linkCut(5 * kMicrosecond, 0, 2));
+    EXPECT_TRUE(p.nodeCut(6 * kMicrosecond, 1));
+    EXPECT_FALSE(p.nodeCut(6 * kMicrosecond, 0));
+}
+
+TEST(LossyFabric, DropsLoseMessagesWithoutReliability)
+{
+    FaultConfig fc = dropConfig(1.0);
+    Harness h(2, &fc, /*reliable=*/false);
+    h.fabric->send(h.msg(0, 1, 1));
+    h.eq.run();
+    EXPECT_TRUE(h.delivered[1].empty());
+    EXPECT_EQ(h.plan->drops(), 1u);
+    EXPECT_EQ(h.fabric->droppedMessages(), 1u);
+    EXPECT_EQ(h.fabric->nic(0).txDropped(), 1u);
+}
+
+TEST(ReliableFabric, RetransmitsUntilDelivered)
+{
+    // Drop the first two attempts, then let everything through.
+    FaultConfig fc;
+    fc.seed = 1;
+    Harness h(2, &fc, /*reliable=*/true);
+    LinkFaults certain;
+    certain.dropRate = 1.0;
+    h.plan->setLinkFaults(0, 1, certain);
+
+    h.fabric->send(h.msg(0, 1, 1));
+    h.eq.runUntil(25 * kMicrosecond); // base RTO 10us: ~2 attempts
+    EXPECT_TRUE(h.delivered[1].empty());
+    h.plan->setLinkFaults(0, 1, LinkFaults{}); // heal
+
+    h.eq.run();
+    ASSERT_EQ(h.delivered[1].size(), 1u);
+    EXPECT_EQ(h.delivered[1][0].opId, 1u);
+    EXPECT_GT(h.fabric->retransmits(), 0u);
+    EXPECT_GT(h.fabric->rtoTimeouts(), 0u);
+    EXPECT_EQ(h.fabric->retransmitGiveUps(), 0u);
+    EXPECT_EQ(h.fabric->unackedMessages(), 0u);
+    EXPECT_GT(h.fabric->nic(0).txRetransmits(), 0u);
+    EXPECT_GT(h.fabric->nic(0).rtoTimeouts(), 0u);
+}
+
+TEST(ReliableFabric, InjectedDuplicatesAreFilteredOnce)
+{
+    FaultConfig fc;
+    fc.seed = 1;
+    fc.allLinks.duplicateRate = 1.0;
+    Harness h(2, &fc, /*reliable=*/true);
+    for (std::uint64_t op = 1; op <= 5; ++op)
+        h.fabric->send(h.msg(0, 1, op));
+    h.eq.run();
+    ASSERT_EQ(h.delivered[1].size(), 5u);
+    for (std::uint64_t op = 1; op <= 5; ++op)
+        EXPECT_EQ(h.delivered[1][op - 1].opId, op);
+    EXPECT_GT(h.fabric->duplicateArrivals(), 0u);
+}
+
+TEST(ReliableFabric, LossyStreamStaysInOrderExactlyOnce)
+{
+    FaultConfig fc;
+    fc.seed = 99;
+    fc.allLinks.dropRate = 0.2;
+    fc.allLinks.duplicateRate = 0.1;
+    fc.allLinks.reorderRate = 0.2;
+    Harness h(3, &fc, /*reliable=*/true);
+
+    constexpr std::uint64_t kOps = 200;
+    for (std::uint64_t op = 1; op <= kOps; ++op) {
+        h.fabric->send(h.msg(0, 1, op));
+        h.fabric->send(h.msg(2, 1, 1000 + op));
+    }
+    h.eq.run();
+
+    // Per source QP: every message exactly once, in send order.
+    std::uint64_t next0 = 1, next2 = 1001;
+    for (const Message &m : h.delivered[1]) {
+        if (m.src == 0)
+            EXPECT_EQ(m.opId, next0++);
+        else
+            EXPECT_EQ(m.opId, next2++);
+    }
+    EXPECT_EQ(next0, kOps + 1);
+    EXPECT_EQ(next2, 1000 + kOps + 1);
+    EXPECT_GT(h.plan->drops(), 0u);
+    EXPECT_EQ(h.fabric->unackedMessages(), 0u);
+}
+
+TEST(ReliableFabric, GivesUpOnPermanentlyCutLink)
+{
+    FaultConfig fc;
+    fc.seed = 1;
+    fc.outages.push_back(NodeOutage{1, 0, kTickNever});
+    Harness h(2, &fc, /*reliable=*/true);
+    h.fabric->send(h.msg(0, 1, 1));
+    h.eq.run();
+    EXPECT_TRUE(h.delivered[1].empty());
+    EXPECT_EQ(h.fabric->retransmitGiveUps(), 1u);
+    EXPECT_EQ(h.fabric->retransmits(),
+              h.fabric->params().reliability.maxRetries);
+    EXPECT_EQ(h.fabric->unackedMessages(), 0u);
+    EXPECT_GT(h.plan->partitionDrops(), 0u);
+}
+
+TEST(ReliableFabric, LoopbackBypassesTheWire)
+{
+    FaultConfig fc = dropConfig(1.0);
+    Harness h(2, &fc, /*reliable=*/true);
+    h.fabric->send(h.msg(1, 1, 42));
+    h.eq.run();
+    ASSERT_EQ(h.delivered[1].size(), 1u);
+    EXPECT_EQ(h.fabric->netAcksSent(), 0u);
+}
+
+TEST(ReliableFabric, PerfectWireAddsAcksButDeliversIdentically)
+{
+    Harness plain(2, nullptr, /*reliable=*/false);
+    Harness rel(2, nullptr, /*reliable=*/true);
+    for (std::uint64_t op = 1; op <= 10; ++op) {
+        plain.fabric->send(plain.msg(0, 1, op));
+        rel.fabric->send(rel.msg(0, 1, op));
+    }
+    plain.eq.run();
+    rel.eq.run();
+    ASSERT_EQ(plain.delivered[1].size(), rel.delivered[1].size());
+    for (std::size_t i = 0; i < plain.delivered[1].size(); ++i)
+        EXPECT_EQ(plain.delivered[1][i].opId, rel.delivered[1][i].opId);
+    EXPECT_EQ(rel.fabric->netAcksSent(), 10u);
+    EXPECT_EQ(rel.fabric->retransmits(), 0u);
+    // NET_ACKs ride outside the protocol message accounting.
+    EXPECT_EQ(plain.fabric->totalMessages(),
+              rel.fabric->totalMessages());
+}
+
+TEST(ReliableFabric, BackoffDoublesUpToCap)
+{
+    ReliabilityParams r;
+    EXPECT_EQ(r.timeoutFor(0), 10 * kMicrosecond);
+    EXPECT_EQ(r.timeoutFor(1), 20 * kMicrosecond);
+    EXPECT_EQ(r.timeoutFor(3), 80 * kMicrosecond);
+    EXPECT_EQ(r.timeoutFor(10), 640 * kMicrosecond);
+    EXPECT_EQ(r.timeoutFor(40), 640 * kMicrosecond);
+}

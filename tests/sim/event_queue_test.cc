@@ -130,6 +130,108 @@ TEST(EventQueue, ExecutedEventsCounts)
     EXPECT_EQ(eq.executedEvents(), 7u);
 }
 
+TEST(Timers, FireLikeEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    TimerId id = eq.scheduleTimerIn(100, [&] { ++fired; });
+    EXPECT_NE(id, kNoTimer);
+    EXPECT_TRUE(eq.timerPending(id));
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(eq.timerPending(id));
+}
+
+TEST(Timers, CancelledTimerNeverFires)
+{
+    EventQueue eq;
+    int fired = 0;
+    TimerId id = eq.scheduleTimer(100, [&] { ++fired; });
+    EXPECT_TRUE(eq.cancelTimer(id));
+    EXPECT_FALSE(eq.timerPending(id));
+    EXPECT_EQ(eq.pendingEvents(), 0u);
+    eq.run();
+    EXPECT_EQ(fired, 0);
+    // Cancelled entries are purged without advancing time.
+    EXPECT_EQ(eq.now(), 0u);
+}
+
+TEST(Timers, CancelIsIdempotentAndRejectsUnknownIds)
+{
+    EventQueue eq;
+    TimerId id = eq.scheduleTimer(100, [] {});
+    EXPECT_TRUE(eq.cancelTimer(id));
+    EXPECT_FALSE(eq.cancelTimer(id));
+    EXPECT_FALSE(eq.cancelTimer(kNoTimer));
+    EXPECT_FALSE(eq.cancelTimer(987654));
+}
+
+TEST(Timers, CancellingOneLeavesOthersTicking)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleTimer(10, [&] { order.push_back(1); });
+    TimerId victim = eq.scheduleTimer(20, [&] { order.push_back(2); });
+    eq.scheduleTimer(30, [&] { order.push_back(3); });
+    eq.cancelTimer(victim);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Timers, FiredTimerCannotBeCancelled)
+{
+    EventQueue eq;
+    TimerId id = eq.scheduleTimer(10, [] {});
+    eq.run();
+    EXPECT_FALSE(eq.cancelTimer(id));
+}
+
+TEST(Timers, EventsAndTimersInterleaveFifoPerTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.scheduleTimer(10, [&] { order.push_back(2); });
+    eq.schedule(10, [&] { order.push_back(3); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Timers, CancelFromInsideAnEarlierEvent)
+{
+    EventQueue eq;
+    int fired = 0;
+    TimerId id = eq.scheduleTimer(50, [&] { ++fired; });
+    eq.schedule(20, [&] { eq.cancelTimer(id); });
+    eq.run();
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.now(), 20u);
+}
+
+TEST(Timers, RunUntilIgnoresCancelledHead)
+{
+    EventQueue eq;
+    int fired = 0;
+    TimerId id = eq.scheduleTimer(100, [&] { ++fired; });
+    eq.schedule(300, [&] { ++fired; });
+    eq.cancelTimer(id);
+    eq.runUntil(200);
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.now(), 200u);
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Timers, ClearResetsTimerState)
+{
+    EventQueue eq;
+    TimerId id = eq.scheduleTimer(100, [] {});
+    eq.clear();
+    EXPECT_FALSE(eq.timerPending(id));
+    EXPECT_FALSE(eq.cancelTimer(id));
+    EXPECT_EQ(eq.pendingEvents(), 0u);
+}
+
 TEST(Ticks, UnitConversions)
 {
     EXPECT_EQ(kNanosecond, 1000u);

@@ -48,6 +48,19 @@ struct Options
     std::optional<std::uint64_t> crashAtUs;
     std::string traceFile;
     bool csv = false;
+
+    // Fault injection (tentpole: chaos experiments from the CLI).
+    double dropRate = 0.0;
+    double dupRate = 0.0;
+    double delayRate = 0.0;
+    std::uint64_t delayNs = 0; // 0 = FaultPlan default range
+    double reorderRate = 0.0;
+    std::uint64_t faultSeed = 0; // 0 = derive from --seed
+    /** node:from_us pairs — node is unreachable from from_us on. */
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> isolate;
+    /** from_us:until_us — first half of servers vs the rest. */
+    std::optional<std::pair<std::uint64_t, std::uint64_t>> partitionUs;
+    std::string recovery = "voting";
 };
 
 void
@@ -81,7 +94,23 @@ usage(std::ostream &os)
           "  --measure-us N      measurement window (default 3000)\n"
           "  --seed N            RNG seed (default 42)\n"
           "  --crash-at-us N     inject a full-system crash at N us\n"
-          "                      after simulation start\n\n"
+          "                      after simulation start\n"
+          "  --recovery R        voting | local | simulated —\n"
+          "                      post-crash recovery policy\n"
+          "                      (default voting)\n\n"
+          "fault injection (enables reliable delivery):\n"
+          "  --drop-rate R       per-message drop probability\n"
+          "  --dup-rate R        per-message duplication probability\n"
+          "  --delay-rate R      per-message extra-delay probability\n"
+          "  --delay-ns N        extra delay when one fires\n"
+          "                      (default 1000-10000 random)\n"
+          "  --reorder-rate R    per-message reorder probability\n"
+          "  --isolate N:USEC    sever all links of node N from USEC\n"
+          "                      on (repeatable)\n"
+          "  --partition-us A:B  partition first half of the servers\n"
+          "                      from the rest during [A, B) us\n"
+          "  --fault-seed N      chaos RNG seed (default: derive\n"
+          "                      from --seed)\n\n"
           "output:\n"
           "  --format F          table | csv (default table)\n"
           "  --help              this text\n";
@@ -215,6 +244,45 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.seed = std::strtoull(val.c_str(), nullptr, 10);
         } else if (flag == "--crash-at-us") {
             opt.crashAtUs = std::strtoull(val.c_str(), nullptr, 10);
+        } else if (flag == "--recovery") {
+            if (val != "voting" && val != "local" &&
+                val != "simulated") {
+                std::cerr << "unknown recovery policy '" << val
+                          << "'\n";
+                return false;
+            }
+            opt.recovery = val;
+        } else if (flag == "--drop-rate") {
+            opt.dropRate = std::strtod(val.c_str(), nullptr);
+        } else if (flag == "--dup-rate") {
+            opt.dupRate = std::strtod(val.c_str(), nullptr);
+        } else if (flag == "--delay-rate") {
+            opt.delayRate = std::strtod(val.c_str(), nullptr);
+        } else if (flag == "--delay-ns") {
+            opt.delayNs = std::strtoull(val.c_str(), nullptr, 10);
+        } else if (flag == "--reorder-rate") {
+            opt.reorderRate = std::strtod(val.c_str(), nullptr);
+        } else if (flag == "--fault-seed") {
+            opt.faultSeed = std::strtoull(val.c_str(), nullptr, 10);
+        } else if (flag == "--isolate") {
+            char *colon = nullptr;
+            auto node = std::strtoul(val.c_str(), &colon, 10);
+            if (!colon || *colon != ':') {
+                std::cerr << "--isolate wants N:USEC\n";
+                return false;
+            }
+            auto from = std::strtoull(colon + 1, nullptr, 10);
+            opt.isolate.emplace_back(
+                static_cast<std::uint32_t>(node), from);
+        } else if (flag == "--partition-us") {
+            char *colon = nullptr;
+            auto from = std::strtoull(val.c_str(), &colon, 10);
+            if (!colon || *colon != ':') {
+                std::cerr << "--partition-us wants FROM:UNTIL\n";
+                return false;
+            }
+            auto until = std::strtoull(colon + 1, nullptr, 10);
+            opt.partitionUs = {from, until};
         } else if (flag == "--trace-file") {
             opt.traceFile = val;
         } else if (flag == "--format") {
@@ -250,6 +318,41 @@ makeConfig(const Options &opt, core::DdpModel model)
     kv::StoreKind kind;
     parseStore(opt.store, kind);
     cfg.node.storeKind = kind;
+
+    if (opt.recovery == "local")
+        cfg.recovery = cluster::RecoveryPolicy::LocalOnly;
+    else if (opt.recovery == "simulated")
+        cfg.recovery = cluster::RecoveryPolicy::SimulatedVoting;
+    else
+        cfg.recovery = cluster::RecoveryPolicy::Voting;
+
+    cfg.faults.seed = opt.faultSeed;
+    cfg.faults.allLinks.dropRate = opt.dropRate;
+    cfg.faults.allLinks.duplicateRate = opt.dupRate;
+    cfg.faults.allLinks.delayRate = opt.delayRate;
+    if (opt.delayNs > 0) {
+        cfg.faults.allLinks.delayMin = opt.delayNs * sim::kNanosecond;
+        cfg.faults.allLinks.delayMax = opt.delayNs * sim::kNanosecond;
+    }
+    cfg.faults.allLinks.reorderRate = opt.reorderRate;
+    for (auto [node, from_us] : opt.isolate) {
+        if (node >= opt.servers) {
+            std::cerr << "error: --isolate node " << node
+                      << " out of range\n";
+            std::exit(1);
+        }
+        cfg.faults.outages.push_back(
+            net::NodeOutage{node, from_us * sim::kMicrosecond,
+                            sim::kTickNever});
+    }
+    if (opt.partitionUs) {
+        net::PartitionWindow w;
+        w.from = opt.partitionUs->first * sim::kMicrosecond;
+        w.until = opt.partitionUs->second * sim::kMicrosecond;
+        for (std::uint32_t n = 0; n < opt.servers / 2; ++n)
+            w.groupA.push_back(n);
+        cfg.faults.partitions.push_back(std::move(w));
+    }
     return cfg;
 }
 
@@ -259,6 +362,19 @@ struct Row
     cluster::RunResult result;
     std::uint64_t lost = 0;
 };
+
+/** "0;2;4" — semicolon-joined so the list stays one CSV field. */
+std::string
+joinNodes(const std::vector<net::NodeId> &nodes)
+{
+    std::string out;
+    for (net::NodeId n : nodes) {
+        if (!out.empty())
+            out += ';';
+        out += std::to_string(n);
+    }
+    return out;
+}
 
 Row
 runExperiment(const Options &opt, core::DdpModel model,
@@ -293,7 +409,8 @@ printRows(const Options &opt, const std::vector<Row> &rows)
         std::cout << "consistency,persistency,throughput_mreqs,"
                      "mean_read_ns,mean_write_ns,p95_read_ns,"
                      "p95_write_ns,messages,persists,xact_aborts,"
-                     "lost_acked_keys\n";
+                     "lost_acked_keys,net_dropped,net_retransmits,"
+                     "net_rto_timeouts,net_give_ups,unreachable\n";
         for (const Row &r : rows) {
             std::cout << core::consistencyName(r.model.consistency)
                       << ','
@@ -305,9 +422,21 @@ printRows(const Options &opt, const std::vector<Row> &rows)
                       << r.result.p95WriteNs << ','
                       << r.result.messages << ','
                       << r.result.persistsIssued << ','
-                      << r.result.xactAborted << ',' << r.lost << '\n';
+                      << r.result.xactAborted << ',' << r.lost << ','
+                      << r.result.netDropped << ','
+                      << r.result.netRetransmits << ','
+                      << r.result.netRtoTimeouts << ','
+                      << r.result.netGiveUps << ','
+                      << joinNodes(r.result.unreachableNodes) << '\n';
         }
         return;
+    }
+
+    bool faulty = false;
+    for (const Row &r : rows) {
+        if (r.result.netDropped > 0 || r.result.netRetransmits > 0 ||
+            r.result.netPartitionDrops > 0 || r.result.degraded())
+            faulty = true;
     }
 
     stats::Table t({"Model", "Mreq/s", "Read(ns)", "Write(ns)",
@@ -322,6 +451,26 @@ printRows(const Options &opt, const std::vector<Row> &rows)
                   opt.crashAtUs ? std::to_string(r.lost) : "-"});
     }
     t.print(std::cout);
+
+    if (!faulty)
+        return;
+
+    stats::Table ft({"Model", "Dropped", "Retrans", "RTOs", "GiveUps",
+                     "Cut", "RecTmo", "Unreachable"});
+    for (const Row &r : rows) {
+        ft.addRow({core::modelName(r.model),
+                   std::to_string(r.result.netDropped),
+                   std::to_string(r.result.netRetransmits),
+                   std::to_string(r.result.netRtoTimeouts),
+                   std::to_string(r.result.netGiveUps),
+                   std::to_string(r.result.netPartitionDrops),
+                   std::to_string(r.result.recoveryTimeouts),
+                   r.result.unreachableNodes.empty()
+                       ? "-"
+                       : joinNodes(r.result.unreachableNodes)});
+    }
+    std::cout << "\nfault / reliability summary:\n";
+    ft.print(std::cout);
 }
 
 } // namespace
