@@ -11,7 +11,7 @@ using core::OpResult;
 
 Client::Client(Cluster &owner, core::ProtocolNode &node, std::uint32_t id)
     : owner(owner),
-      node(node),
+      homeIdx(node.id()),
       clientId(id),
       gen(owner.config().workload, owner.config().seed, id + 1),
       rng(owner.config().seed ^ 0xc11e47, id + 1)
@@ -45,10 +45,22 @@ Client::scoped() const
     return owner.config().model.persistency == core::Persistency::Scope;
 }
 
+bool
+Client::timeoutsEnabled() const
+{
+    return owner.config().clientRequestTimeout > 0;
+}
+
 std::uint64_t
 Client::currentScopeId() const
 {
     return (static_cast<std::uint64_t>(clientId) + 1) << 32 | scopeSeq;
+}
+
+core::ProtocolNode &
+Client::coord()
+{
+    return owner.node((homeIdx + nodeOffset) % owner.numNodes());
 }
 
 void
@@ -61,6 +73,9 @@ void
 Client::restartAt(sim::Tick resume_at)
 {
     ++generation;
+    cancelRequestTimer();
+    phase = Phase::Idle;
+    nodeOffset = 0;
     xactOps.clear();
     opsSinceScopePersist = 0;
     ++scopeSeq;
@@ -70,6 +85,67 @@ Client::restartAt(sim::Tick resume_at)
             issueNext();
     });
 }
+
+// --------------------------------------------------------------------------
+// Request timeout and coordinator failover
+// --------------------------------------------------------------------------
+
+void
+Client::armRequestTimer(std::uint64_t token)
+{
+    if (!timeoutsEnabled())
+        return;
+    cancelRequestTimer();
+    std::uint32_t g = generation;
+    reqTimer = owner.queue().scheduleTimerIn(
+        owner.config().clientRequestTimeout, [this, g, token] {
+            if (g != generation || token != attemptToken)
+                return;
+            reqTimer = sim::kNoTimer;
+            onRequestTimeout();
+        });
+}
+
+void
+Client::cancelRequestTimer()
+{
+    if (reqTimer != sim::kNoTimer) {
+        owner.queue().cancelTimer(reqTimer);
+        reqTimer = sim::kNoTimer;
+    }
+}
+
+void
+Client::onRequestTimeout()
+{
+    // Invalidate the timed-out attempt so a late completion from a
+    // merely slow (not dead) coordinator cannot double-drive the loop.
+    ++attemptToken;
+    ++nodeOffset;
+    owner.noteClientFailover();
+    switch (phase) {
+      case Phase::PlainOp:
+        owner.noteClientRetransmit();
+        sendPlainOp();
+        break;
+      case Phase::ScopePersist:
+        owner.noteClientRetransmit();
+        sendScopePersist();
+        break;
+      case Phase::Xact:
+        // The attempt died with its coordinator (the transaction
+        // record is volatile); re-run the whole transaction at the
+        // next server after the usual backoff.
+        retryXactAfterBackoff();
+        break;
+      case Phase::Idle:
+        break;
+    }
+}
+
+// --------------------------------------------------------------------------
+// Plain operations
+// --------------------------------------------------------------------------
 
 void
 Client::issueNext()
@@ -103,34 +179,66 @@ Client::issueNow()
 void
 Client::issuePlainOp()
 {
-    workload::Op op = nextOp();
+    pendingOp = nextOp();
     ++issued;
+    pendingSeq = ++reqSeq;
+    phase = Phase::PlainOp;
+    sendPlainOp();
+}
+
+void
+Client::sendPlainOp()
+{
+    std::uint64_t token = ++attemptToken;
+    std::uint32_t g = generation;
     OpContext ctx;
     ctx.scopeId = scoped() ? currentScopeId() : 0;
-    std::uint32_t g = generation;
-    OpCompletion cb = [this, g](const OpResult &r) {
-        if (g != generation)
+    if (timeoutsEnabled() && pendingOp.type == workload::OpType::Write) {
+        // Retransmission identity: if this write has to be retried at
+        // another coordinator, a node that already applied it will
+        // acknowledge instead of re-executing.
+        ctx.clientId = clientId;
+        ctx.clientSeq = pendingSeq;
+    }
+    OpCompletion cb = [this, g, token](const OpResult &r) {
+        if (g != generation || token != attemptToken)
             return;
+        cancelRequestTimer();
+        phase = Phase::Idle;
         owner.recordOp(r.kind, r.latency());
         ++opsSinceScopePersist;
         issueNext();
     };
+    armRequestTimer(token);
     // Under partial replication the client routes each request to a
     // replica of the key (smart-client partition awareness).
-    core::ProtocolNode &target = owner.nodeForKey(op.key, clientId);
-    if (op.type == workload::OpType::Read)
-        target.clientRead(op.key, ctx, std::move(cb));
+    core::ProtocolNode &target =
+        owner.nodeForKey(pendingOp.key, clientId + nodeOffset);
+    if (pendingOp.type == workload::OpType::Read)
+        target.clientRead(pendingOp.key, ctx, std::move(cb));
     else
-        target.clientWrite(op.key, ctx, std::move(cb));
+        target.clientWrite(pendingOp.key, ctx, std::move(cb));
 }
 
 void
 Client::issueScopePersist()
 {
+    phase = Phase::ScopePersist;
+    sendScopePersist();
+}
+
+void
+Client::sendScopePersist()
+{
+    std::uint64_t token = ++attemptToken;
     std::uint32_t g = generation;
-    node.clientPersistScope(currentScopeId(), [this, g](const OpResult &r) {
-        if (g != generation)
+    armRequestTimer(token);
+    coord().clientPersistScope(currentScopeId(),
+                               [this, g, token](const OpResult &r) {
+        if (g != generation || token != attemptToken)
             return;
+        cancelRequestTimer();
+        phase = Phase::Idle;
         owner.recordOp(r.kind, r.latency());
         opsSinceScopePersist = 0;
         ++scopeSeq;
@@ -151,18 +259,24 @@ Client::beginXactBatch()
         xactOps.push_back(nextOp());
     xactFirstIssue.assign(len, 0);
     xactOpDone.assign(len, 0);
+    xactAttempts = 0;
+    phase = Phase::Xact;
     startXactAttempt();
 }
 
 void
 Client::startXactAttempt()
 {
+    ++xactAttempts;
     ++xactSeq;
     curXactId = (static_cast<std::uint64_t>(clientId) + 1) << 32 | xactSeq;
+    std::uint64_t token = ++attemptToken;
     std::uint32_t g = generation;
-    node.clientInitXact(curXactId, [this, g](const OpResult &r) {
-        if (g != generation)
+    armRequestTimer(token);
+    coord().clientInitXact(curXactId, [this, g, token](const OpResult &r) {
+        if (g != generation || token != attemptToken)
             return;
+        cancelRequestTimer();
         if (r.aborted) {
             retryXactAfterBackoff();
             return;
@@ -186,38 +300,51 @@ Client::issueXactOp(std::size_t index)
     OpContext ctx;
     ctx.xactId = curXactId;
     ctx.scopeId = scoped() ? currentScopeId() : 0;
+    std::uint64_t token = ++attemptToken;
     std::uint32_t g = generation;
-    OpCompletion cb = [this, g, index](const OpResult &r) {
-        if (g != generation)
+    OpCompletion cb = [this, g, token, index](const OpResult &r) {
+        if (g != generation || token != attemptToken)
             return;
+        cancelRequestTimer();
         if (r.aborted) {
-            node.clientEndXact(curXactId, false,
-                               [this, g](const OpResult &) {
-                if (g == generation)
-                    retryXactAfterBackoff();
+            std::uint64_t abort_token = ++attemptToken;
+            armRequestTimer(abort_token);
+            coord().clientEndXact(curXactId, false,
+                                  [this, g, abort_token](const OpResult &) {
+                if (g != generation || abort_token != attemptToken)
+                    return;
+                cancelRequestTimer();
+                retryXactAfterBackoff();
             });
             return;
         }
         xactOpDone[index] = r.completedAt;
         issueXactOp(index + 1);
     };
+    armRequestTimer(token);
+    core::ProtocolNode &target = coord();
     if (op.type == workload::OpType::Read)
-        node.clientRead(op.key, ctx, std::move(cb));
+        target.clientRead(op.key, ctx, std::move(cb));
     else
-        node.clientWrite(op.key, ctx, std::move(cb));
+        target.clientWrite(op.key, ctx, std::move(cb));
 }
 
 void
 Client::finishXactAttempt()
 {
+    std::uint64_t token = ++attemptToken;
     std::uint32_t g = generation;
-    node.clientEndXact(curXactId, true, [this, g](const OpResult &r) {
-        if (g != generation)
+    armRequestTimer(token);
+    coord().clientEndXact(curXactId, true,
+                          [this, g, token](const OpResult &r) {
+        if (g != generation || token != attemptToken)
             return;
+        cancelRequestTimer();
         if (r.aborted) {
             retryXactAfterBackoff();
             return;
         }
+        phase = Phase::Idle;
         xactRetries = 0;
         commitRecorded(r.completedAt);
         opsSinceScopePersist +=
@@ -247,6 +374,16 @@ Client::commitRecorded(sim::Tick end_completed)
 void
 Client::retryXactAfterBackoff()
 {
+    if (xactAttempts >= owner.config().xactMaxAttempts) {
+        // Livelock backstop: drop the batch rather than spin forever
+        // (e.g. every coordinator unreachable, or pathological
+        // conflict storms).
+        owner.noteXactAbandoned();
+        phase = Phase::Idle;
+        xactRetries = 0;
+        issueNext();
+        return;
+    }
     // Exponential backoff breaks retry livelock on hot zipfian keys:
     // contended clients drain out of the active-transaction set until
     // the conflict probability is sustainable.

@@ -10,6 +10,15 @@
  * retries squashed transactions after a random backoff; under Scope
  * persistency it emits a scope-persist request every cfg.scopeLength
  * operations.
+ *
+ * When cfg.clientRequestTimeout > 0 the client also implements
+ * coordinator failover: every request arms a timer, and on expiry the
+ * client rotates to the next server and retransmits. Retransmitted
+ * plain writes carry a per-client sequence number so a coordinator
+ * that already applied the write acknowledges instead of re-executing
+ * (exactly-once). Timed-out transaction attempts are retried from
+ * scratch at the new coordinator; attempts are capped at
+ * cfg.xactMaxAttempts, after which the batch is abandoned.
  */
 
 #ifndef DDP_CLUSTER_CLIENT_HH
@@ -44,18 +53,40 @@ class Client
      */
     void restartAt(sim::Tick resume_at);
 
+    /**
+     * Forget a previous failover rotation: route new requests to the
+     * home coordinator again. Called after a crashed node re-joins.
+     * In-flight requests are unaffected.
+     */
+    void failback() { nodeOffset = 0; }
+
     std::uint32_t id() const { return clientId; }
     std::uint64_t opsIssued() const { return issued; }
 
   private:
     bool transactional() const;
     bool scoped() const;
+    bool timeoutsEnabled() const;
     std::uint64_t currentScopeId() const;
+
+    /** Coordinator after the current failover rotation. */
+    core::ProtocolNode &coord();
+
+    /**
+     * Arm the request timer for the attempt identified by @p token;
+     * cancels any previous timer. No-op when timeouts are disabled.
+     */
+    void armRequestTimer(std::uint64_t token);
+    void cancelRequestTimer();
+    /** A request timed out: rotate coordinators and retransmit. */
+    void onRequestTimeout();
 
     void issueNext();
     void issueNow();
     void issuePlainOp();
+    void sendPlainOp();
     void issueScopePersist();
+    void sendScopePersist();
 
     void beginXactBatch();
     void startXactAttempt();
@@ -67,8 +98,17 @@ class Client
     /** Next operation: from the replay trace or the generator. */
     workload::Op nextOp();
 
+    /** What kind of request the current attempt token guards. */
+    enum class Phase
+    {
+        Idle,
+        PlainOp,
+        ScopePersist,
+        Xact,
+    };
+
     Cluster &owner;
-    core::ProtocolNode &node;
+    std::uint32_t homeIdx;
     std::uint32_t clientId;
     workload::OpGenerator gen;
     std::optional<workload::TraceCursor> cursor;
@@ -76,6 +116,18 @@ class Client
 
     std::uint32_t generation = 0;
     std::uint64_t issued = 0;
+
+    // Failover / retransmission state.
+    std::uint32_t nodeOffset = 0;
+    std::uint64_t reqSeq = 0;
+    /** Monotonic attempt id; completions and timer expiries for stale
+     *  attempts are discarded by comparing against it. */
+    std::uint64_t attemptToken = 0;
+    sim::TimerId reqTimer = sim::kNoTimer;
+    Phase phase = Phase::Idle;
+    /** In-flight plain op, kept for retransmission after failover. */
+    workload::Op pendingOp{};
+    std::uint64_t pendingSeq = 0;
 
     // Scope state.
     std::uint64_t scopeSeq = 1;
@@ -85,6 +137,7 @@ class Client
     std::uint64_t xactSeq = 0;
     std::uint64_t curXactId = 0;
     std::uint32_t xactRetries = 0;
+    std::uint32_t xactAttempts = 0;
     std::vector<workload::Op> xactOps;
     std::vector<sim::Tick> xactFirstIssue;
     std::vector<sim::Tick> xactOpDone;

@@ -105,6 +105,31 @@ Cluster::schedulePartialCrash(sim::Tick at,
 }
 
 void
+Cluster::schedulePartialCrash(sim::Tick at,
+                              std::vector<net::NodeId> victims,
+                              sim::Tick restart_after)
+{
+    eq.schedule(at, [this, victims = std::move(victims), restart_after] {
+        crashPartialStaged(victims, restart_after);
+    });
+}
+
+void
+Cluster::auditEpoch(RecoveryStats &rs,
+                    const std::function<net::Version(net::KeyId)>
+                        &recovered_version)
+{
+    if (!checker)
+        return;
+    core::PropertyChecker::DurabilityAudit audit =
+        checker->auditDurability(cfg.model, recovered_version);
+    rs.lostAckedWriteKeys = audit.lostAckedKeys;
+    rs.lostAckedWrites = audit.lostAckedWrites;
+    lostKeysTotal += rs.lostAckedWriteKeys;
+    lostWritesTotal += rs.lostAckedWrites;
+}
+
+void
 Cluster::crashPartial(const std::vector<net::NodeId> &victims)
 {
     std::vector<bool> crashed(nodes.size(), false);
@@ -112,6 +137,8 @@ Cluster::crashPartial(const std::vector<net::NodeId> &victims)
         assert(v < nodes.size());
         crashed[v] = true;
     }
+
+    std::uint64_t torn_before = ctr.get("torn_persists_detected");
 
     // Victims lose volatile state; survivors abandon in-flight
     // exchanges (their rounds reference peers that just died).
@@ -151,26 +178,191 @@ Cluster::crashPartial(const std::vector<net::NodeId> &victims)
         cfg.network.roundTrip +
         (rs.keysInstalled / std::max<std::size_t>(1, nodes.size())) *
             cfg.network.serializationTicks(64);
+    rs.tornDetected = ctr.get("torn_persists_detected") - torn_before;
 
-    if (checker) {
-        rs.lostAckedWriteKeys = checker->auditLostWrites(
-            [this](net::KeyId key) {
-                net::Version best{};
-                for (std::uint32_t i = 0; i < rmap.factor(); ++i) {
-                    net::Version v = nodes[rmap.replica(key, i)]
-                                         ->visibleVersion(key);
-                    if (best < v)
-                        best = v;
-                }
-                return best;
-            });
-    }
+    auditEpoch(rs, [this](net::KeyId key) {
+        net::Version best{};
+        for (std::uint32_t i = 0; i < rmap.factor(); ++i) {
+            net::Version v =
+                nodes[rmap.replica(key, i)]->visibleVersion(key);
+            if (best < v)
+                best = v;
+        }
+        return best;
+    });
 
     recoveryLog.push_back(rs);
-    lostKeysTotal += rs.lostAckedWriteKeys;
     sim::Tick resume = eq.now() + rs.recoveryTime;
     for (auto &c : clients)
         c->restartAt(resume);
+}
+
+void
+Cluster::crashPartialStaged(const std::vector<net::NodeId> &victims,
+                            sim::Tick restart_after)
+{
+    assert(cfg.clientRequestTimeout > 0 &&
+           "staged partial crash needs client request timeouts: victims' "
+           "clients would otherwise hang for the whole downtime");
+    std::vector<bool> crashed(nodes.size(), false);
+    for (net::NodeId v : victims) {
+        assert(v < nodes.size());
+        crashed[v] = true;
+    }
+
+    std::uint64_t torn_before = ctr.get("torn_persists_detected");
+
+    // Victims go dark: volatile state lost, NVM recovered in place
+    // (torn persists rolled back), and every message to or from them
+    // swallowed until restart. Survivors abandon in-flight exchanges
+    // and stop waiting for the victims' acknowledgments, so the live
+    // replica set keeps completing writes through the downtime.
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+        if (crashed[n]) {
+            nodes[n]->crashVolatile();
+            nodes[n]->setDown(true);
+        } else {
+            nodes[n]->abortInFlight();
+        }
+    }
+    for (auto &node : nodes) {
+        for (net::NodeId v : victims)
+            node->setPeerDown(v, true);
+    }
+    xactTable.clear();
+
+    // Survivor view reconciliation: the epoch bump abandoned in-flight
+    // fire-and-forget VAL/UPD propagation between survivors — traffic
+    // a real network still delivers when an unrelated node dies.
+    // Align every survivor to the freshest surviving visible version
+    // (volatile only, durability untouched), as a real view change
+    // does; otherwise a survivor could serve a version older than an
+    // acknowledged write for the rest of the run.
+    for (net::KeyId key = 0; key < cfg.keyCount; ++key) {
+        net::Version maxv{};
+        for (std::uint32_t i = 0; i < rmap.factor(); ++i) {
+            net::NodeId rep = rmap.replica(key, i);
+            if (crashed[rep])
+                continue;
+            net::Version v = nodes[rep]->visibleVersion(key);
+            if (maxv < v)
+                maxv = v;
+        }
+        if (maxv.number == 0)
+            continue;
+        for (std::uint32_t i = 0; i < rmap.factor(); ++i) {
+            net::NodeId rep = rmap.replica(key, i);
+            if (!crashed[rep])
+                nodes[rep]->adoptVisible(key, maxv);
+        }
+    }
+
+    // Audit the crash epoch. An acked write survives if a surviving
+    // replica still serves it or a victim holds it durably — the
+    // victim's NVM comes back at restart, so durable-but-dark copies
+    // are unavailable, not lost.
+    RecoveryStats rs;
+    rs.tornDetected = ctr.get("torn_persists_detected") - torn_before;
+    auditEpoch(rs, [this, &crashed](net::KeyId key) {
+        net::Version best{};
+        for (std::uint32_t i = 0; i < rmap.factor(); ++i) {
+            net::NodeId rep = rmap.replica(key, i);
+            net::Version v = crashed[rep]
+                                 ? nodes[rep]->persistedVersion(key)
+                                 : nodes[rep]->visibleVersion(key);
+            if (best < v)
+                best = v;
+        }
+        return best;
+    });
+    recoveryLog.push_back(rs);
+
+    // Clients are deliberately NOT restarted: survivors' clients keep
+    // running, and the victims' clients detect the dead coordinator by
+    // request timeout and fail over on their own.
+    eq.schedule(eq.now() + restart_after,
+                [this, victims] { restartVictims(victims); });
+}
+
+void
+Cluster::restartVictims(const std::vector<net::NodeId> &victims)
+{
+    std::vector<bool> returning(nodes.size(), false);
+    for (net::NodeId v : victims)
+        returning[v] = true;
+
+    for (net::NodeId v : victims)
+        nodes[v]->setDown(false);
+    for (auto &node : nodes) {
+        for (net::NodeId v : victims)
+            node->setPeerDown(v, false);
+    }
+
+    // State transfer: each returning node pulls the freshest copy of
+    // every key it replicates — a survivor's visible version or its
+    // own recovered NVM — and installs it. Survivors are untouched:
+    // re-join must not make anything durable that was not already.
+    RecoveryStats rs;
+    rs.restart = true;
+    std::uint64_t diverged = 0;
+    for (net::KeyId key = 0; key < cfg.keyCount; ++key) {
+        net::Version best{};
+        bool victim_replica = false;
+        for (std::uint32_t i = 0; i < rmap.factor(); ++i) {
+            net::NodeId rep = rmap.replica(key, i);
+            if (returning[rep])
+                victim_replica = true;
+            net::Version v = returning[rep]
+                                 ? nodes[rep]->persistedVersion(key)
+                                 : nodes[rep]->visibleVersion(key);
+            if (best < v)
+                best = v;
+        }
+        if (!victim_replica || best.number == 0)
+            continue;
+        ++rs.keysInstalled;
+        for (std::uint32_t i = 0; i < rmap.factor(); ++i) {
+            net::NodeId rep = rmap.replica(key, i);
+            if (returning[rep])
+                nodes[rep]->installRecovered(key, best);
+        }
+        // Convergence audit: after the transfer a returning replica
+        // must serve at least what the survivors serve.
+        for (std::uint32_t i = 0; i < rmap.factor(); ++i) {
+            net::NodeId rep = rmap.replica(key, i);
+            if (returning[rep] && nodes[rep]->visibleVersion(key) < best)
+                ++diverged;
+        }
+    }
+    rs.convergenceFailures = diverged;
+    convergenceFailTotal += diverged;
+
+    // Causal progress transfers with the data: without it, UPDs that
+    // depend on writes from the downtime window would buffer forever
+    // at the returning node.
+    if (cfg.model.consistency == core::Consistency::Causal) {
+        core::VectorClock merged(nodes.size());
+        for (std::size_t n = 0; n < nodes.size(); ++n) {
+            if (!returning[n])
+                merged.mergeFrom(nodes[n]->appliedClock());
+        }
+        for (net::NodeId v : victims)
+            nodes[v]->adoptCausalProgress(merged);
+    }
+
+    std::uint32_t survivors = static_cast<std::uint32_t>(nodes.size()) -
+                              static_cast<std::uint32_t>(victims.size());
+    rs.recoveryTime =
+        cfg.network.roundTrip +
+        (rs.keysInstalled / std::max(1u, survivors)) *
+            cfg.network.serializationTicks(
+                64 * std::max(1u, cfg.node.valueLines));
+    recoveryLog.push_back(rs);
+    nodeRestartCount += victims.size();
+
+    // Clients route back to their home coordinators.
+    for (auto &c : clients)
+        c->failback();
 }
 
 void
@@ -194,15 +386,10 @@ Cluster::crashNow()
                 rs.quorumBatches = report.quorumBatches;
                 rs.quorumFailures = report.quorumFailures;
                 rs.unreachable = report.unreachable;
-                if (checker) {
-                    rs.lostAckedWriteKeys = checker->auditLostWrites(
-                        [this](net::KeyId key) {
-                            return nodes[rmap.home(key)]->visibleVersion(
-                                key);
-                        });
-                }
+                auditEpoch(rs, [this](net::KeyId key) {
+                    return nodes[rmap.home(key)]->visibleVersion(key);
+                });
                 recoveryLog.push_back(rs);
-                lostKeysTotal += rs.lostAckedWriteKeys;
                 for (auto &c : clients)
                     c->restartAt(eq.now());
             });
@@ -211,7 +398,6 @@ Cluster::crashNow()
 
     RecoveryStats rs = recoverAll();
     recoveryLog.push_back(rs);
-    lostKeysTotal += rs.lostAckedWriteKeys;
     xactTable.clear();
     sim::Tick resume = eq.now() + rs.recoveryTime;
     for (auto &c : clients)
@@ -222,8 +408,10 @@ RecoveryStats
 Cluster::recoverAll()
 {
     RecoveryStats rs;
+    std::uint64_t torn_before = ctr.get("torn_persists_detected");
     for (auto &n : nodes)
         n->crashVolatile();
+    rs.tornDetected = ctr.get("torn_persists_detected") - torn_before;
 
     if (cfg.recovery == RecoveryPolicy::Voting) {
         std::uint64_t divergent = 0;
@@ -275,16 +463,10 @@ Cluster::recoverAll()
              cfg.node.nvmParams.banksPerChannel);
     }
 
-    if (checker) {
-        rs.lostAckedWriteKeys = checker->auditLostWrites(
-            [this](net::KeyId key) {
-                // The key's home replica holds the recovered version.
-                return nodes[rmap.home(key)]->visibleVersion(key);
-            });
-        // Post-recovery reads start from a clean slate of completed
-        // writes; pre-crash completions that survived are re-learned,
-        // and those that were lost should not flag every future read.
-    }
+    // The key's home replica holds the recovered version.
+    auditEpoch(rs, [this](net::KeyId key) {
+        return nodes[rmap.home(key)]->visibleVersion(key);
+    });
     return rs;
 }
 
@@ -368,6 +550,17 @@ Cluster::run()
     res.counters["net_rto_timeouts"] = res.netRtoTimeouts;
     res.counters["net_give_ups"] = res.netGiveUps;
 
+    // Torn-persist / restart / failover accounting. Whole-run totals
+    // for the same reason as the fault accounting above.
+    res.tornPersistsDetected = ctr.get("torn_persists_detected");
+    res.tornValuesInstalled = ctr.get("torn_values_installed");
+    res.clientRetransmitsDeduped = ctr.get("client_retransmits_deduped");
+    res.clientFailovers = clientFailoverCount;
+    res.clientRetransmits = clientRetransmitCount;
+    res.xactAbandoned = xactAbandonedCount;
+    res.nodeRestarts = nodeRestartCount;
+    res.convergenceFailures = convergenceFailTotal;
+
     for (const RecoveryStats &rs : recoveryLog) {
         res.recoveryTimeouts += rs.timeouts;
         res.recoveryRetries += rs.retries;
@@ -385,6 +578,9 @@ Cluster::run()
         res.monotonicViolations = checker->monotonicViolations();
         res.staleReads = checker->staleReads();
         res.lostAckedWriteKeys = lostKeysTotal;
+        res.lostAckedWrites = lostWritesTotal;
+        res.crashEpochs = checker->crashEpochs();
+        res.tornReadsServed = checker->tornServed();
     }
     return res;
 }

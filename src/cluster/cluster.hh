@@ -76,6 +76,21 @@ class Cluster
     void schedulePartialCrash(sim::Tick at,
                               std::vector<net::NodeId> victims);
 
+    /**
+     * Staged partial crash with downtime: at @p at the @p victims lose
+     * volatile state and go dark (messages to and from them are
+     * swallowed, client requests at them hang); survivors keep serving
+     * whatever the live replica set allows. After @p restart_after the
+     * victims come back up, recover their keys from the freshest
+     * surviving copy (own NVM vs. survivor volatile state), and
+     * re-join. Requires cfg.clientRequestTimeout > 0 — only client
+     * timeout + failover keeps victims' clients making progress during
+     * the downtime.
+     */
+    void schedulePartialCrash(sim::Tick at,
+                              std::vector<net::NodeId> victims,
+                              sim::Tick restart_after);
+
     /** Run warmup + measurement; may be called once per Cluster. */
     RunResult run();
 
@@ -105,10 +120,24 @@ class Cluster
     core::ProtocolNode &nodeForKey(net::KeyId key,
                                    std::uint32_t client_id);
 
+    /** A client request timed out and rotated coordinators. */
+    void noteClientFailover() { ++clientFailoverCount; }
+    /** A client retransmitted a request after failover. */
+    void noteClientRetransmit() { ++clientRetransmitCount; }
+    /** A client abandoned a transaction batch (attempt cap). */
+    void noteXactAbandoned() { ++xactAbandonedCount; }
+
   private:
     void crashNow();
     void crashPartial(const std::vector<net::NodeId> &victims);
+    void crashPartialStaged(const std::vector<net::NodeId> &victims,
+                            sim::Tick restart_after);
+    void restartVictims(const std::vector<net::NodeId> &victims);
     RecoveryStats recoverAll();
+    /** Audit acked-write durability for one crash epoch. */
+    void auditEpoch(RecoveryStats &rs,
+                    const std::function<net::Version(net::KeyId)>
+                        &recovered_version);
 
     ClusterConfig cfg;
     core::ReplicaMap rmap;
@@ -130,6 +159,12 @@ class Cluster
 
     std::vector<RecoveryStats> recoveryLog;
     std::uint64_t lostKeysTotal = 0;
+    std::uint64_t lostWritesTotal = 0;
+    std::uint64_t clientFailoverCount = 0;
+    std::uint64_t clientRetransmitCount = 0;
+    std::uint64_t xactAbandonedCount = 0;
+    std::uint64_t nodeRestartCount = 0;
+    std::uint64_t convergenceFailTotal = 0;
     bool ran = false;
 };
 

@@ -89,6 +89,24 @@ struct ClusterConfig
     sim::Tick xactRetryBackoff = 2 * sim::kMicrosecond;
 
     /**
+     * Client-side request timeout. 0 (the default) disables it: a
+     * request waits forever and runs carry no retransmission identity,
+     * keeping the wire byte-identical to earlier builds. When > 0,
+     * every client request arms a timer; on expiry the client presumes
+     * its coordinator dead, rotates to the next server, and
+     * retransmits. Writes then carry a per-client sequence number that
+     * coordinators dedup, making retried writes exactly-once.
+     */
+    sim::Tick clientRequestTimeout = 0;
+
+    /**
+     * Attempts per transaction batch (first try + retries) before the
+     * client abandons the batch and moves on; abandoned batches are
+     * tallied in RunResult::xactAbandoned.
+     */
+    std::uint32_t xactMaxAttempts = 64;
+
+    /**
      * Pause between a completion and the client's next request.
      * 0 = saturating closed loop (the default); larger values emulate
      * clients that are rate-limited by their own work.

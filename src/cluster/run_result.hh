@@ -50,6 +50,35 @@ struct RunResult
     std::uint64_t monotonicViolations = 0;
     std::uint64_t staleReads = 0;
     std::uint64_t lostAckedWriteKeys = 0;
+    /** Individual acked writes lost across all crash epochs (the whole
+     *  lost suffix per key, not just the latest). */
+    std::uint64_t lostAckedWrites = 0;
+    /** Crash epochs the checker audited during the run. */
+    std::uint64_t crashEpochs = 0;
+
+    // --- Torn-persist accounting (whole-run totals) ------------------------
+    /** Mid-persist values recovery detected via checksum and rolled
+     *  back to the last intact version. */
+    std::uint64_t tornPersistsDetected = 0;
+    /** Torn values recovery installed as current (commit-record
+     *  ablation only; always 0 with commit records on). */
+    std::uint64_t tornValuesInstalled = 0;
+    /** Client reads that returned a torn value. */
+    std::uint64_t tornReadsServed = 0;
+
+    // --- Restart / failover accounting (whole-run totals) ------------------
+    /** Nodes that came back from a staged partial crash. */
+    std::uint64_t nodeRestarts = 0;
+    /** Keys where a restarted node failed to converge with survivors. */
+    std::uint64_t convergenceFailures = 0;
+    /** Client request timeouts that triggered coordinator failover. */
+    std::uint64_t clientFailovers = 0;
+    /** Requests a client retransmitted after failover. */
+    std::uint64_t clientRetransmits = 0;
+    /** Retransmitted writes a coordinator recognized and deduped. */
+    std::uint64_t clientRetransmitsDeduped = 0;
+    /** Transaction batches abandoned after xactMaxAttempts. */
+    std::uint64_t xactAbandoned = 0;
 
     // --- Fault / reliability accounting (whole-run totals) -----------------
     /** Messages lost to injected drops or severed links. */
@@ -129,6 +158,16 @@ struct RecoveryStats
     sim::Tick recoveryTime = 0;
     /** Acked writes (latest per key) that did not survive. */
     std::uint64_t lostAckedWriteKeys = 0;
+    /** Individual acked writes (whole lost suffix) that did not
+     *  survive this crash epoch. */
+    std::uint64_t lostAckedWrites = 0;
+    /** True for the restart/re-join leg of a staged partial crash. */
+    bool restart = false;
+    /** Torn values detected + rolled back during this recovery. */
+    std::uint64_t tornDetected = 0;
+    /** Keys where a restarted node diverged from survivors after
+     *  re-join state transfer (restart legs only). */
+    std::uint64_t convergenceFailures = 0;
 
     // --- Degraded-mode accounting (SimulatedVoting only) -------------------
     std::uint64_t timeouts = 0;

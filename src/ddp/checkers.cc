@@ -24,6 +24,14 @@ PropertyChecker::onRead(net::NodeId node, net::KeyId key,
         version < cw->second.version) {
         ++staleViol;
     }
+
+    // A torn value must never be served to a client, no matter how
+    // weak the binding: recovery either rolls it back (commit records)
+    // or, in the ablation, installs it — and we catch the serve here.
+    if (!tornValues.empty() &&
+        tornValues.count(std::make_pair(key, version))) {
+        ++tornServedCount;
+    }
 }
 
 void
@@ -37,6 +45,26 @@ PropertyChecker::onWriteComplete(net::KeyId key, net::Version version,
         it->second.version = version;
         it->second.completedAt = completed_at;
     }
+    ackedAlive[key].push_back(version);
+}
+
+void
+PropertyChecker::onTornDetected(net::NodeId node, net::KeyId key,
+                                net::Version rolled_back_to)
+{
+    (void)node;
+    (void)key;
+    (void)rolled_back_to;
+    ++tornDetectedCount;
+}
+
+void
+PropertyChecker::onTornInstall(net::NodeId node, net::KeyId key,
+                               net::Version torn_version)
+{
+    (void)node;
+    ++tornInstallCount;
+    tornValues.emplace(key, torn_version);
 }
 
 std::uint64_t
@@ -54,21 +82,64 @@ PropertyChecker::auditLostWrites(
     return lost;
 }
 
+PropertyChecker::DurabilityAudit
+PropertyChecker::auditDurability(
+    const DdpModel &model,
+    const std::function<net::Version(net::KeyId)> &recovered_version)
+{
+    ++crashEpochCount;
+
+    DurabilityAudit audit;
+    audit.zeroLossRequired = writesDurableAtCompletion(model);
+    audit.tornInstalled = tornInstallCount;
+    audit.tornServed = tornServedCount;
+
+    for (auto &[key, alive] : ackedAlive) {
+        if (alive.empty())
+            continue;
+        net::Version recovered = recovered_version(key);
+        net::Version latest{};
+        std::size_t kept = 0;
+        for (net::Version v : alive) {
+            if (latest < v)
+                latest = v;
+            if (recovered < v) {
+                // This acknowledged write did not survive the crash.
+                // Prune it: the next crash epoch must not re-judge a
+                // write that is already gone.
+                ++audit.lostAckedWrites;
+            } else {
+                alive[kept++] = v;
+            }
+        }
+        alive.resize(kept);
+        if (recovered < latest)
+            ++audit.lostAckedKeys;
+    }
+    return audit;
+}
+
 void
 PropertyChecker::resetObservations()
 {
     lastReads.clear();
     completed.clear();
+    ackedAlive.clear();
 }
 
 void
 PropertyChecker::clear()
 {
     resetObservations();
+    tornValues.clear();
     monotonicViol = 0;
     staleViol = 0;
     reads = 0;
     writes = 0;
+    crashEpochCount = 0;
+    tornDetectedCount = 0;
+    tornInstallCount = 0;
+    tornServedCount = 0;
 }
 
 } // namespace ddp::core

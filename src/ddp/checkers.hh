@@ -26,9 +26,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <unordered_map>
+#include <vector>
 
 #include "ddp/client_api.hh"
+#include "ddp/models.hh"
 #include "net/message.hh"
 
 namespace ddp::core {
@@ -42,6 +45,12 @@ class PropertyChecker : public EventSink
 
     void onWriteComplete(net::KeyId key, net::Version version,
                          sim::Tick completed_at) override;
+
+    void onTornDetected(net::NodeId node, net::KeyId key,
+                        net::Version rolled_back_to) override;
+
+    void onTornInstall(net::NodeId node, net::KeyId key,
+                       net::Version torn_version) override;
 
     /** Reads that returned an older version than a previous read saw. */
     std::uint64_t monotonicViolations() const { return monotonicViol; }
@@ -64,6 +73,53 @@ class PropertyChecker : public EventSink
     auditLostWrites(const std::function<net::Version(net::KeyId)>
                         &recovered_version) const;
 
+    /** Per-crash-epoch durability verdict against the Table 4 taxonomy. */
+    struct DurabilityAudit
+    {
+        /** Keys whose latest acknowledged write did not survive. */
+        std::uint64_t lostAckedKeys = 0;
+        /** Individual acknowledged writes (any age) that did not
+         *  survive — counts the whole lost suffix per key. */
+        std::uint64_t lostAckedWrites = 0;
+        /** Torn values installed as current by recovery (ablation). */
+        std::uint64_t tornInstalled = 0;
+        /** Reads that returned a torn value (cumulative). */
+        std::uint64_t tornServed = 0;
+        /** The audited model promises zero acked-write loss. */
+        bool zeroLossRequired = false;
+
+        /** Taxonomy violated: a zero-loss binding lost acked writes,
+         *  or a torn value was served to a client. */
+        bool
+        violation() const
+        {
+            return (zeroLossRequired && lostAckedWrites > 0) ||
+                   tornServed > 0;
+        }
+    };
+
+    /**
+     * Multi-crash-epoch durability audit: call once per crash, after
+     * recovery has settled every key. Counts the acknowledged writes
+     * lost at *this* crash point, then prunes them from the history so
+     * the next crash epoch judges only writes that were still alive —
+     * auditLostWrites() alone would double- or under-count across
+     * epochs. Also advances the checker's crash-epoch counter.
+     */
+    DurabilityAudit
+    auditDurability(const DdpModel &model,
+                    const std::function<net::Version(net::KeyId)>
+                        &recovered_version);
+
+    /** Crash epochs audited so far. */
+    std::uint64_t crashEpochs() const { return crashEpochCount; }
+    /** Torn values recovery detected and rolled back (all nodes). */
+    std::uint64_t tornDetected() const { return tornDetectedCount; }
+    /** Torn values recovery installed as current (ablation mode). */
+    std::uint64_t tornInstalls() const { return tornInstallCount; }
+    /** Reads that returned a torn value. */
+    std::uint64_t tornServed() const { return tornServedCount; }
+
     /** Forget observation state (not violation counters). */
     void resetObservations();
 
@@ -84,11 +140,23 @@ class PropertyChecker : public EventSink
     std::map<std::pair<net::NodeId, net::KeyId>, LastRead> lastReads;
     /** key -> highest completed write and its completion time. */
     std::unordered_map<net::KeyId, CompletedWrite> completed;
+    /**
+     * key -> every acknowledged version still considered alive (not
+     * yet judged lost by an earlier crash epoch's audit). Basis of the
+     * per-epoch lost-suffix counting in auditDurability().
+     */
+    std::unordered_map<net::KeyId, std::vector<net::Version>> ackedAlive;
+    /** (key, version) pairs recovery installed torn (ablation). */
+    std::set<std::pair<net::KeyId, net::Version>> tornValues;
 
     std::uint64_t monotonicViol = 0;
     std::uint64_t staleViol = 0;
     std::uint64_t reads = 0;
     std::uint64_t writes = 0;
+    std::uint64_t crashEpochCount = 0;
+    std::uint64_t tornDetectedCount = 0;
+    std::uint64_t tornInstallCount = 0;
+    std::uint64_t tornServedCount = 0;
 };
 
 } // namespace ddp::core

@@ -51,6 +51,16 @@ struct OpContext
 {
     std::uint64_t xactId = 0;  ///< 0 = not inside a transaction
     std::uint64_t scopeId = 0; ///< 0 = no scope tag
+
+    /**
+     * Exactly-once retransmission identity. A client that fails over
+     * to a new coordinator after a request timeout retransmits the
+     * write under the same (clientId, clientSeq); coordinators dedup
+     * on it. clientSeq 0 = no retransmission tracking (the default,
+     * and the only mode exercised when request timeouts are disabled).
+     */
+    std::uint32_t clientId = 0;
+    std::uint64_t clientSeq = 0;
 };
 
 /**
@@ -73,6 +83,28 @@ class EventSink
     virtual void
     onWriteComplete(net::KeyId key, net::Version version,
                     sim::Tick completed_at) = 0;
+
+    /**
+     * Crash recovery detected a torn (partially persisted) value via
+     * commit-record checksum mismatch and rolled @p key back to
+     * @p rolled_back_to. Default: ignore.
+     */
+    virtual void
+    onTornDetected(net::NodeId /*node*/, net::KeyId /*key*/,
+                   net::Version /*rolled_back_to*/)
+    {
+    }
+
+    /**
+     * Crash recovery, running without commit records (ablation),
+     * trusted the newest version tag it found and installed a torn
+     * value as @p key's current version. Default: ignore.
+     */
+    virtual void
+    onTornInstall(net::NodeId /*node*/, net::KeyId /*key*/,
+                  net::Version /*torn_version*/)
+    {
+    }
 };
 
 } // namespace ddp::core

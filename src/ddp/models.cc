@@ -228,4 +228,13 @@ traitsOf(const DdpModel &model)
     return t;
 }
 
+bool
+writesDurableAtCompletion(const DdpModel &model)
+{
+    return model.persistency == Persistency::Strict ||
+           (model.persistency == Persistency::Synchronous &&
+            (model.consistency == Consistency::Linearizable ||
+             model.consistency == Consistency::Transactional));
+}
+
 } // namespace ddp::core

@@ -103,6 +103,15 @@ struct ModelTraits
  */
 ModelTraits traitsOf(const DdpModel &model);
 
+/**
+ * True when @p model acknowledges a write only once it is durable, i.e.
+ * the zero-loss class of Table 4: a crash at any instant loses no
+ * completed write. Strict persistency always qualifies; Synchronous
+ * persistency qualifies when the consistency model's completion point
+ * already waits on all replicas (Linearizable, Transactional).
+ */
+bool writesDurableAtCompletion(const DdpModel &model);
+
 } // namespace ddp::core
 
 #endif // DDP_CORE_MODELS_HH

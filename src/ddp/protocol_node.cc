@@ -33,7 +33,11 @@ ProtocolNode::ProtocolNode(sim::EventQueue &eq, net::Fabric &fabric,
       pendingDurable(params.numNodes),
       causalBuffer(params.numNodes),
       followers(params.numNodes - 1),
-      rmap(params.numNodes, params.replicationFactor)
+      rmap(params.numNodes, params.replicationFactor),
+      image(params.keyCount, params.valueLines == 0 ? 1
+                                                    : params.valueLines,
+            params.commitRecords),
+      peerUp(params.numNodes, true)
 {
     if (!rmap.full() &&
         (cfg.model.consistency == Consistency::Causal ||
@@ -41,6 +45,14 @@ ProtocolNode::ProtocolNode(sim::EventQueue &eq, net::Fabric &fabric,
         throw std::invalid_argument(
             "partial replication requires Linearizable, Read-Enforced, "
             "or Eventual consistency");
+    }
+    if (cfg.valueLines == 0)
+        throw std::invalid_argument("valueLines must be >= 1");
+    if (cfg.valueLines > 1 && !cfg.persistCoalescing) {
+        // The line-by-line persist protocol assumes at most one
+        // in-flight NVM write per key, which coalescing guarantees.
+        throw std::invalid_argument(
+            "valueLines > 1 requires persistCoalescing");
     }
 
     RecoveryAgent::Hooks hooks;
@@ -89,7 +101,18 @@ ProtocolNode::ProtocolNode(sim::EventQueue &eq, net::Fabric &fabric,
 std::uint64_t
 ProtocolNode::xactLogAddr(std::uint64_t xact_id) const
 {
-    return (cfg.keyCount + (xact_id & 1023)) * 64;
+    // The transaction log lives just past the value region. (With
+    // valueLines == 1 this is the classic keyCount offset, keeping the
+    // default bank mapping — and hence event timing — unchanged.)
+    return (cfg.keyCount * cfg.valueLines + (xact_id & 1023)) * 64;
+}
+
+std::uint64_t
+ProtocolNode::commitAddrOf(KeyId key) const
+{
+    // Commit records occupy their own region past the transaction log
+    // so they never contend with a value's own data lines for a slot.
+    return (cfg.keyCount * cfg.valueLines + 1024 + key) * 64;
 }
 
 bool
@@ -313,12 +336,13 @@ ProtocolNode::startKeyPersist(KeyId key, Version ver, bool arrival_order,
                               std::vector<PersistObligation> obligations)
 {
     ctr.add("persists_issued");
-    sim::Tick done_at = nvmDev.write(eq.now(), addrOf(key));
     std::uint32_t ep = currentEpoch;
 
     if (!cfg.persistCoalescing) {
         // Ablation mode: every persist is independent; obligations ride
         // in the completion closure instead of the per-key slot.
+        // (Single-line only; valueLines > 1 is rejected in the ctor.)
+        sim::Tick done_at = nvmDev.write(eq.now(), addrOf(key));
         auto obls = std::make_shared<std::vector<PersistObligation>>(
             std::move(obligations));
         eq.schedule(done_at,
@@ -326,6 +350,7 @@ ProtocolNode::startKeyPersist(KeyId key, Version ver, bool arrival_order,
             if (ep != currentEpoch)
                 return;
             KeyReplica &kr = keyState(key);
+            image.atomicPersist(key, ver, arrival_order);
             advancePersisted(kr.persistedVer, ver, arrival_order);
             wakeWaiters(key);
             for (auto &obl : *obls)
@@ -340,9 +365,50 @@ ProtocolNode::startKeyPersist(KeyId key, Version ver, bool arrival_order,
     kr.activeArrival = arrival_order;
     kr.activeObligations = std::move(obligations);
 
-    eq.schedule(done_at, [this, ep, key] {
+    if (cfg.valueLines == 1) {
+        sim::Tick done_at = nvmDev.write(eq.now(), addrOf(key));
+        eq.schedule(done_at, [this, ep, key] {
+            if (ep != currentEpoch)
+                return; // the persist raced a crash; treat it as lost
+            onKeyPersistDone(key);
+        });
+        return;
+    }
+
+    // Multi-line value: every 64 B line is its own (atomic) NVM write.
+    // A crash between the first line landing and the commit record
+    // landing leaves a torn copy in the medium, which recovery must
+    // detect. The lines issue in parallel (they map to different
+    // banks); the commit record only once all of them are durable.
+    image.beginWrite(key, ver);
+    auto remaining = std::make_shared<std::uint32_t>(cfg.valueLines);
+    for (std::uint32_t i = 0; i < cfg.valueLines; ++i) {
+        sim::Tick t = nvmDev.write(eq.now(), addrOf(key) + 64ull * i);
+        eq.schedule(t, [this, ep, key, remaining] {
+            if (ep != currentEpoch)
+                return; // this line never reached the medium
+            image.lineWritten(key);
+            if (--*remaining == 0)
+                onDataLinesDurable(key);
+        });
+    }
+}
+
+void
+ProtocolNode::onDataLinesDurable(KeyId key)
+{
+    std::uint32_t ep = currentEpoch;
+    if (!cfg.commitRecords) {
+        // Ablation: nothing marks the value complete; the last data
+        // line doubles as the completion point.
+        onKeyPersistDone(key);
+        return;
+    }
+    sim::Tick t = nvmDev.write(eq.now(), commitAddrOf(key));
+    ctr.add("commit_records_written");
+    eq.schedule(t, [this, ep, key] {
         if (ep != currentEpoch)
-            return; // the persist raced a crash; treat it as lost
+            return; // crash before the commit record: torn at recovery
         onKeyPersistDone(key);
     });
 }
@@ -351,6 +417,11 @@ void
 ProtocolNode::onKeyPersistDone(KeyId key)
 {
     KeyReplica &kr = keyState(key);
+    if (cfg.valueLines == 1) {
+        image.atomicPersist(key, kr.activePersistVer, kr.activeArrival);
+    } else {
+        image.commitWrite(key, kr.activeArrival);
+    }
     advancePersisted(kr.persistedVer, kr.activePersistVer,
                      kr.activeArrival);
     wakeWaiters(key);
@@ -395,6 +466,8 @@ struct ProtocolNode::ReadCtx
 void
 ProtocolNode::clientRead(KeyId key, OpContext ctx, OpCompletion done)
 {
+    if (downFlag)
+        return; // dead coordinator: the client's request timeout fires
     auto rc = std::make_shared<ReadCtx>();
     rc->issued = eq.now();
     rc->done = std::move(done);
@@ -583,6 +656,8 @@ struct ProtocolNode::WriteCtx
 void
 ProtocolNode::clientWrite(KeyId key, OpContext ctx, OpCompletion done)
 {
+    if (downFlag)
+        return; // dead coordinator: the client's request timeout fires
     auto wc = std::make_shared<WriteCtx>();
     wc->issued = eq.now();
     wc->done = std::move(done);
@@ -598,6 +673,26 @@ ProtocolNode::clientWrite(KeyId key, OpContext ctx, OpCompletion done)
 void
 ProtocolNode::execWrite(KeyId key, std::shared_ptr<WriteCtx> wc)
 {
+    // Exactly-once retransmits: a failed-over client re-sends a write
+    // under its original (clientId, clientSeq); if any surviving
+    // replica already applied it, acknowledge instead of re-executing.
+    if (wc->octx.clientSeq != 0) {
+        auto seen = clientSeqSeen.find(wc->octx.clientId);
+        if (seen != clientSeqSeen.end() &&
+            wc->octx.clientSeq <= seen->second) {
+            ctr.add("client_retransmits_deduped");
+            OpResult res;
+            res.kind = OpKind::Write;
+            res.key = key;
+            res.node = self;
+            res.issuedAt = wc->issued;
+            res.completedAt = eq.now();
+            res.version = keyState(key).volatileVer;
+            wc->done(res);
+            return;
+        }
+    }
+
     if (!wc->charged) {
         wc->charged = true;
         sim::Tick extra = chargeLocalAccess(key, true);
@@ -654,13 +749,17 @@ ProtocolNode::startAckRoundWrite(KeyId key,
     round.key = key;
     round.ver = ver;
     round.scopeId = wc->octx.scopeId;
-    round.followersNeeded = rmap.followerCount(key);
+    round.followersNeeded = liveFollowerCount(key);
     round.issuedAt = wc->issued;
+    round.clientId = wc->octx.clientId;
+    round.clientSeq = wc->octx.clientSeq;
     round.done = wc->done;
 
     kr.pendingOpId = round_id;
     kr.transient = true;
     kr.transientVer = ver;
+    if (wc->octx.clientSeq != 0)
+        noteClientSeq(wc->octx.clientId, wc->octx.clientSeq);
 
     // Local durability per the persistency model.
     if (p == Persistency::Strict || p == Persistency::Synchronous ||
@@ -682,7 +781,10 @@ ProtocolNode::startAckRoundWrite(KeyId key,
 
     Message inv = makeMsg(MsgType::Inv, key, ver, round_id);
     inv.hasData = true;
+    inv.dataLines = cfg.valueLines;
     inv.scopeId = wc->octx.scopeId;
+    inv.clientId = wc->octx.clientId;
+    inv.clientSeq = wc->octx.clientSeq;
     multicast(key, inv);
     ctr.add("inv_sent", rmap.followerCount(key));
 
@@ -760,7 +862,7 @@ ProtocolNode::startXactWrite(KeyId key,
         round.key = key;
         round.ver = ver;
         round.xactId = xr.id;
-        round.followersNeeded = rmap.followerCount(key);
+        round.followersNeeded = liveFollowerCount(key);
         round.issuedAt = wc->issued;
         round.done = wc->done;
         round.pendingLocalPersists = 1;
@@ -779,6 +881,7 @@ ProtocolNode::startXactWrite(KeyId key,
 
     Message inv = makeMsg(MsgType::Inv, key, ver, round_id);
     inv.hasData = true;
+    inv.dataLines = cfg.valueLines;
     inv.xactId = xr.id;
     inv.scopeId = wc->octx.scopeId;
     multicast(key, inv);
@@ -806,9 +909,15 @@ ProtocolNode::startPropagatedWrite(KeyId key,
     kr.volatileVer = ver;
     backend->put(key, ver.number);
 
+    if (wc->octx.clientSeq != 0)
+        noteClientSeq(wc->octx.clientId, wc->octx.clientSeq);
+
     Message upd = makeMsg(MsgType::Upd, key, ver, 0);
     upd.hasData = true;
+    upd.dataLines = cfg.valueLines;
     upd.scopeId = wc->octx.scopeId;
+    upd.clientId = wc->octx.clientId;
+    upd.clientSeq = wc->octx.clientSeq;
     if (c == Consistency::Causal) {
         upd.cauhist = applied.raw();
         applied[self] += 1;
@@ -831,7 +940,7 @@ ProtocolNode::startPropagatedWrite(KeyId key,
         round.kind = Round::Kind::Write;
         round.key = key;
         round.ver = ver;
-        round.followersNeeded = rmap.followerCount(key);
+        round.followersNeeded = liveFollowerCount(key);
         round.issuedAt = wc->issued;
         round.done = wc->done;
         round.pendingLocalPersists = 1;
@@ -883,6 +992,8 @@ ProtocolNode::startPropagatedWrite(KeyId key,
 void
 ProtocolNode::clientInitXact(std::uint64_t xact_id, OpCompletion done)
 {
+    if (downFlag)
+        return; // dead coordinator: the client's request timeout fires
     sim::Tick issued = eq.now();
     sim::Tick admitted = cores.acquire(eq.now(), cfg.opProcessing);
     std::uint32_t ep = currentEpoch;
@@ -902,7 +1013,7 @@ ProtocolNode::clientInitXact(std::uint64_t xact_id, OpCompletion done)
         Round round;
         round.kind = Round::Kind::InitXact;
         round.xactId = xact_id;
-        round.followersNeeded = followers;
+        round.followersNeeded = liveFollowers();
         round.issuedAt = issued;
         round.done = done;
 
@@ -939,6 +1050,8 @@ void
 ProtocolNode::clientEndXact(std::uint64_t xact_id, bool commit,
                             OpCompletion done)
 {
+    if (downFlag)
+        return; // dead coordinator: the client's request timeout fires
     sim::Tick issued = eq.now();
     sim::Tick admitted = cores.acquire(eq.now(), cfg.opProcessing);
     std::uint32_t ep = currentEpoch;
@@ -985,7 +1098,7 @@ ProtocolNode::clientEndXact(std::uint64_t xact_id, bool commit,
         Round round;
         round.kind = Round::Kind::EndXact;
         round.xactId = xact_id;
-        round.followersNeeded = followers;
+        round.followersNeeded = liveFollowers();
         round.issuedAt = issued;
         round.done = done;
 
@@ -1022,6 +1135,8 @@ ProtocolNode::clientEndXact(std::uint64_t xact_id, bool commit,
 void
 ProtocolNode::clientPersistScope(std::uint64_t scope_id, OpCompletion done)
 {
+    if (downFlag)
+        return; // dead coordinator: the client's request timeout fires
     sim::Tick issued = eq.now();
     sim::Tick admitted = cores.acquire(eq.now(), cfg.opProcessing);
     std::uint32_t ep = currentEpoch;
@@ -1039,7 +1154,7 @@ ProtocolNode::clientPersistScope(std::uint64_t scope_id, OpCompletion done)
         Round round;
         round.kind = Round::Kind::ScopePersist;
         round.scopeId = scope_id;
-        round.followersNeeded = followers;
+        round.followersNeeded = liveFollowers();
         round.issuedAt = issued;
         round.done = done;
 
@@ -1124,6 +1239,8 @@ ProtocolNode::checkRound(std::uint64_t round_id)
                 r.persistencyDone = true;
                 Message val = makeMsg(MsgType::Val, r.key, r.ver, 0);
                 val.scopeId = r.scopeId;
+                val.clientId = r.clientId;
+                val.clientSeq = r.clientSeq;
                 multicast(r.key, val);
                 KeyReplica &kr = keyState(r.key);
                 if (kr.volatileVer < r.ver) {
@@ -1143,6 +1260,8 @@ ProtocolNode::checkRound(std::uint64_t round_id)
             if (!r.consistencyDone && r.acksC >= r.followersNeeded) {
                 r.consistencyDone = true;
                 Message val = makeMsg(MsgType::ValC, r.key, r.ver, 0);
+                val.clientId = r.clientId;
+                val.clientSeq = r.clientSeq;
                 multicast(r.key, val);
                 KeyReplica &kr = keyState(r.key);
                 if (kr.volatileVer < r.ver) {
@@ -1170,6 +1289,8 @@ ProtocolNode::checkRound(std::uint64_t round_id)
                 r.persistencyDone = true;
                 Message val = makeMsg(MsgType::ValC, r.key, r.ver, 0);
                 val.scopeId = r.scopeId;
+                val.clientId = r.clientId;
+                val.clientSeq = r.clientSeq;
                 multicast(r.key, val);
                 KeyReplica &kr = keyState(r.key);
                 if (kr.volatileVer < r.ver) {
@@ -1270,6 +1391,11 @@ ProtocolNode::checkRound(std::uint64_t round_id)
 void
 ProtocolNode::handleMessage(const Message &msg)
 {
+    if (downFlag) {
+        // Crashed and not yet restarted: the NIC is dark.
+        ctr.add("msgs_dropped_node_down");
+        return;
+    }
     if (msg.epoch != currentEpoch)
         return; // stale traffic from before a crash
     sim::Tick cost = cfg.msgProcessing;
@@ -1429,6 +1555,10 @@ ProtocolNode::handleVal(const Message &msg)
     KeyReplica &kr = keyState(msg.key);
 
     if (msg.type == MsgType::Val || msg.type == MsgType::ValC) {
+        // The write is applied here: remember its client sequence so a
+        // failed-over client's retransmit of it is deduped.
+        if (msg.clientSeq != 0)
+            noteClientSeq(msg.clientId, msg.clientSeq);
         if (kr.volatileVer < msg.version) {
             kr.volatileVer = msg.version;
             backend->put(msg.key, msg.version.number);
@@ -1497,6 +1627,8 @@ ProtocolNode::handleUpd(const Message &msg)
 
     // Eventual consistency: apply in arrival order, no version check —
     // this is what costs the model its monotonic reads (Table 4 row 5).
+    if (msg.clientSeq != 0)
+        noteClientSeq(msg.clientId, msg.clientSeq);
     KeyReplica &kr = keyState(msg.key);
     noteVersion(msg.key, msg.version);
     kr.volatileVer = msg.version;
@@ -1532,6 +1664,8 @@ ProtocolNode::applyCausalUpd(const Message &msg)
     std::uint64_t seq = deps[origin] + 1;
     if (applied[origin] < seq)
         applied[origin] = seq;
+    if (msg.clientSeq != 0)
+        noteClientSeq(msg.clientId, msg.clientSeq);
 
     KeyReplica &kr = keyState(msg.key);
     noteVersion(msg.key, msg.version);
@@ -1587,6 +1721,26 @@ ProtocolNode::drainCausalBuffer()
                 progress = true;
             }
         }
+    }
+}
+
+void
+ProtocolNode::adoptCausalProgress(const VectorClock &clock)
+{
+    applied.mergeFrom(clock);
+    durableApplied.mergeFrom(clock);
+    drainCausalBuffer();
+}
+
+void
+ProtocolNode::adoptVisible(KeyId key, Version version)
+{
+    noteVersion(key, version);
+    KeyReplica &kr = keyState(key);
+    if (kr.volatileVer < version) {
+        kr.volatileVer = version;
+        backend->put(key, version.number);
+        ctr.add("view_reconciled_keys");
     }
 }
 
@@ -1785,9 +1939,32 @@ ProtocolNode::crashVolatile()
 {
     abortInFlight();
     hierarchy.crash();
+    image.crash();
+    clientSeqSeen.clear();
 
+    // Rebuild volatile state from what recovery actually finds in the
+    // medium — NOT from the in-memory persistedVer bookkeeping, which
+    // a real crash wipes out along with everything else volatile. For
+    // single-line values the two agree by construction; for multi-line
+    // values recovery must verify each key's commit record and roll
+    // torn in-flight copies back to the last intact version (or, with
+    // commit records ablated, install the torn copy and pay for it).
     for (KeyId key = 0; key < keys.size(); ++key) {
         KeyReplica &kr = keys[key];
+        mem::PersistImage::Recovered rec = image.recover(key);
+        if (rec.tornDetected) {
+            ctr.add("torn_persists_detected");
+            if (sink)
+                sink->onTornDetected(self, key, rec.version);
+        }
+        if (rec.uncommittedRollback)
+            ctr.add("uncommitted_persists_rolled_back");
+        if (rec.tornInstalled) {
+            ctr.add("torn_values_installed");
+            if (sink)
+                sink->onTornInstall(self, key, rec.version);
+        }
+        kr.persistedVer = rec.version;
         kr.volatileVer = kr.persistedVer;
         if (kr.globalPersistVer > kr.persistedVer)
             kr.globalPersistVer = kr.persistedVer;
@@ -1806,8 +1983,94 @@ ProtocolNode::installRecovered(KeyId key, Version version)
     kr.persistedVer = version;
     kr.globalPersistVer = version;
     noteVersion(key, version);
+    image.installCommitted(key, version);
     if (version.number > 0)
         backend->put(key, version.number);
+}
+
+void
+ProtocolNode::setDown(bool down)
+{
+    if (downFlag == down)
+        return;
+    downFlag = down;
+    peerUp[self] = !down;
+    ctr.add(down ? "node_down" : "node_restarted");
+}
+
+void
+ProtocolNode::setPeerDown(NodeId peer, bool down)
+{
+    assert(peer < peerUp.size());
+    bool came_back = !down && !peerUp[peer];
+    peerUp[peer] = !down;
+    if (!came_back || peer == self || downFlag)
+        return;
+
+    // Re-join catch-up: write rounds issued during the peer's downtime
+    // never reached it, so without help the returning replica would
+    // keep serving the superseded version after those writes complete
+    // — a linearizability hole on re-join. Rounds still invalidating
+    // get their INV re-sent with the ack set widened (the round now
+    // waits for the returning replica too); rounds already validated
+    // get the winning value pushed directly.
+    for (auto &[id, r] : rounds) {
+        if (r.kind != Round::Kind::Write)
+            continue;
+        if (!rmap.isReplica(r.key, peer))
+            continue;
+        if (isAckRoundConsistency() && !r.consistencyDone) {
+            Message inv = makeMsg(MsgType::Inv, r.key, r.ver, id);
+            inv.hasData = true;
+            inv.dataLines = cfg.valueLines;
+            inv.xactId = r.xactId;
+            inv.scopeId = r.scopeId;
+            inv.clientId = r.clientId;
+            inv.clientSeq = r.clientSeq;
+            sendTo(peer, std::move(inv));
+            ++r.followersNeeded;
+            ctr.add("rejoin_round_invs");
+        } else if (r.consistencyDone) {
+            Message val = makeMsg(MsgType::ValC, r.key, r.ver, 0);
+            val.clientId = r.clientId;
+            val.clientSeq = r.clientSeq;
+            sendTo(peer, std::move(val));
+            ctr.add("rejoin_round_vals");
+        }
+    }
+}
+
+std::uint32_t
+ProtocolNode::liveFollowers() const
+{
+    std::uint32_t n = 0;
+    for (NodeId i = 0; i < cfg.numNodes; ++i) {
+        if (i != self && peerUp[i])
+            ++n;
+    }
+    return n;
+}
+
+std::uint32_t
+ProtocolNode::liveFollowerCount(KeyId key) const
+{
+    if (rmap.full())
+        return liveFollowers();
+    std::uint32_t n = 0;
+    for (std::uint32_t i = 0; i < rmap.factor(); ++i) {
+        NodeId r = rmap.replica(key, i);
+        if (r != self && peerUp[r])
+            ++n;
+    }
+    return n;
+}
+
+void
+ProtocolNode::noteClientSeq(std::uint32_t client, std::uint64_t seq)
+{
+    std::uint64_t &seen = clientSeqSeen[client];
+    if (seen < seq)
+        seen = seq;
 }
 
 Version

@@ -47,6 +47,7 @@
 #include "kv/store.hh"
 #include "mem/cache.hh"
 #include "mem/memory_device.hh"
+#include "mem/persist_image.hh"
 #include "net/fabric.hh"
 #include "sim/event_queue.hh"
 #include "sim/resource.hh"
@@ -106,6 +107,23 @@ struct NodeParams
      * and hot keys serialize their bank.
      */
     bool persistCoalescing = true;
+
+    /**
+     * 64 B lines a value spans. NVM only persists a single line
+     * atomically; a multi-line value persists line by line and a crash
+     * mid-persist leaves a *torn* copy. 1 (default) keeps the classic
+     * atomic-persist model. Values > 1 require persistCoalescing.
+     */
+    std::uint32_t valueLines = 1;
+    /**
+     * Guard every multi-line value with a per-value commit record
+     * (checksum + version tag, itself a single-line atomic write
+     * issued only after all data lines are durable). Recovery then
+     * detects torn values by checksum mismatch and rolls back to the
+     * last intact copy. Disable to ablate: recovery trusts the newest
+     * version tag it finds and installs torn values.
+     */
+    bool commitRecords = true;
 
     /**
      * Durability gating of causal applies under Strict/Synchronous
@@ -192,6 +210,27 @@ class ProtocolNode
     void installRecovered(net::KeyId key, net::Version version);
 
     /**
+     * Take the node off the network (crashed, not yet restarted) or
+     * bring it back. While down every inbound message is dropped and
+     * client requests are swallowed (the issuing client's request
+     * timeout detects the dead coordinator and fails over). Restart
+     * deliberately does NOT bump the epoch: the survivors' epoch
+     * advanced in lockstep at crash time and their traffic must keep
+     * flowing.
+     */
+    void setDown(bool down);
+    bool isDown() const { return downFlag; }
+
+    /**
+     * Liveness hint about a peer, maintained by the cluster's failure
+     * detector: rounds started while a peer is down only wait for
+     * acknowledgments from live followers, so the surviving majority
+     * keeps completing writes during the victim's downtime. The peer
+     * re-joins the replica group when marked up again.
+     */
+    void setPeerDown(net::NodeId peer, bool down);
+
+    /**
      * Deliver a protocol message directly, bypassing the fabric. Used
      * by replay and interleaving-exploration tooling; normal traffic
      * arrives through the fabric attachment made in the constructor.
@@ -224,6 +263,29 @@ class ProtocolNode
     std::uint64_t causalBufferPeak() const { return causalPeak; }
     /** Current causal buffer occupancy. */
     std::size_t causalBufferSize() const { return causalBuffered; }
+
+    /** Applied-clock snapshot (Causal consistency). */
+    const VectorClock &appliedClock() const { return applied; }
+
+    /**
+     * Adopt causal progress learned through recovery state transfer:
+     * merge @p clock into the applied and durable-applied clocks and
+     * drain any now-satisfiable buffered UPDs. A restarted node pulled
+     * every value covered by the survivors' clocks, so UPDs that
+     * depend on writes from its downtime window must not buffer
+     * forever waiting for deliveries it can never receive.
+     */
+    void adoptCausalProgress(const VectorClock &clock);
+
+    /**
+     * Adopt a peer's newer visible version after an epoch change
+     * (survivor view reconciliation): volatile state only, never
+     * durability. The epoch bump of a partial crash drops in-flight
+     * fire-and-forget value propagation between survivors that a real
+     * network would still deliver; the cluster re-aligns the survivors
+     * through this instead, as a real view change does.
+     */
+    void adoptVisible(net::KeyId key, net::Version version);
 
   private:
     // --- Per-key replica state ----------------------------------------------
@@ -296,6 +358,11 @@ class ProtocolNode
         bool persistencyDone = false;
         bool clientNotified = false;
         sim::Tick issuedAt = 0;
+        /** Exactly-once identity of the originating client request
+         *  (clientSeq 0 = untracked); stamped onto VALs so followers
+         *  learn applied sequence numbers. */
+        std::uint32_t clientId = 0;
+        std::uint64_t clientSeq = 0;
         OpCompletion done;
     };
 
@@ -322,7 +389,13 @@ class ProtocolNode
 
 
     // --- Internal helpers ----------------------------------------------------
-    static std::uint64_t addrOf(net::KeyId key) { return key * 64; }
+    /** NVM address of @p key's first value line. */
+    std::uint64_t addrOf(net::KeyId key) const
+    {
+        return key * 64 * cfg.valueLines;
+    }
+    /** NVM address of @p key's commit record (multi-line values). */
+    std::uint64_t commitAddrOf(net::KeyId key) const;
     std::uint64_t xactLogAddr(std::uint64_t xact_id) const;
 
     bool isAckRoundConsistency() const;
@@ -370,7 +443,13 @@ class ProtocolNode
     void startKeyPersist(net::KeyId key, net::Version ver,
                          bool arrival_order,
                          std::vector<PersistObligation> obligations);
+    void onDataLinesDurable(net::KeyId key);
     void onKeyPersistDone(net::KeyId key);
+
+    // Exactly-once retransmission bookkeeping.
+    void noteClientSeq(std::uint32_t client, std::uint64_t seq);
+    std::uint32_t liveFollowers() const;
+    std::uint32_t liveFollowerCount(net::KeyId key) const;
 
     // Coordinator round progress.
     void checkRound(std::uint64_t round_id);
@@ -447,6 +526,16 @@ class ProtocolNode
     std::uint32_t currentEpoch = 0;
     std::uint32_t followers;
     ReplicaMap rmap;
+
+    /** Durable medium image: commit records + torn-persist tracking. */
+    mem::PersistImage image;
+
+    /** True while crashed-but-not-restarted (drops all traffic). */
+    bool downFlag = false;
+    /** peerUp[i] = failure detector's view of node i (self included). */
+    std::vector<bool> peerUp;
+    /** clientId -> highest applied client sequence number (dedup). */
+    std::unordered_map<std::uint32_t, std::uint64_t> clientSeqSeen;
 };
 
 } // namespace ddp::core

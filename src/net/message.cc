@@ -36,9 +36,13 @@ Message::sizeBytes() const
     // Header: type + src/dst + key + version + opId + scope + xact.
     std::uint32_t size = 48;
     if (hasData)
-        size += 64; // one cache line of value payload
+        size += 64 * dataLines; // value payload, one or more lines
     // cauhist is a per-server vector clock entry list.
     size += static_cast<std::uint32_t>(cauhist.size()) * 8;
+    // Exactly-once retransmission identity (only carried when client
+    // request timeouts are enabled, so default runs are unperturbed).
+    if (clientSeq != 0)
+        size += 12;
     return size;
 }
 

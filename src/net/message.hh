@@ -124,8 +124,10 @@ struct Message
     /** Causal dependencies (Causal consistency UPDs only). */
     CausalHistory cauhist;
 
-    /** True for messages that carry the 64 B value payload. */
+    /** True for messages that carry the value payload. */
     bool hasData = false;
+    /** 64 B lines the value payload spans (ignored unless hasData). */
+    std::uint32_t dataLines = 1;
 
     /** Commit flag for ENDX (false = abort the transaction). */
     bool commit = true;
@@ -142,6 +144,15 @@ struct Message
      * the sequence number being acknowledged.
      */
     std::uint64_t netSeq = 0;
+
+    /**
+     * Exactly-once retransmission identity of the originating client
+     * request (clientSeq 0 = none). Rides on INV/UPD/VAL so every
+     * replica learns which client sequence numbers are already applied
+     * and can dedup a failed-over client's retransmits.
+     */
+    std::uint32_t clientId = 0;
+    std::uint64_t clientSeq = 0;
 
     /** Wire size, used for NIC serialization timing. */
     std::uint32_t sizeBytes() const;

@@ -64,12 +64,7 @@ TEST_P(Table4Soundness, PromisedPropertiesHoldUnderCrash)
             << " promises non-stale reads but served stale data";
     }
 
-    bool writes_durable_at_completion =
-        model.persistency == Persistency::Strict ||
-        (model.persistency == Persistency::Synchronous &&
-         (model.consistency == Consistency::Linearizable ||
-          model.consistency == Consistency::Transactional));
-    if (writes_durable_at_completion) {
+    if (core::writesDurableAtCompletion(model)) {
         EXPECT_EQ(r.lostAckedWriteKeys, 0u)
             << core::modelName(model)
             << " completes writes only when durable, yet lost some";

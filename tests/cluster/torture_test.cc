@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Crash-torture cluster tests: staged partial crashes with node
+ * downtime + restart, client timeout/failover with exactly-once
+ * retransmits, multi-crash-epoch durability audits, and torn-persist
+ * fidelity (commit records vs. the ablation) under real workloads.
+ *
+ * These complement table4_soundness_test.cc (instant full crashes)
+ * with the staged path: a victim goes dark mid-run, its clients fail
+ * over to survivors, and the victim later restarts and re-joins.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hh"
+
+using namespace ddp;
+using namespace ddp::cluster;
+using core::Consistency;
+using core::DdpModel;
+using core::Persistency;
+
+namespace {
+
+ClusterConfig
+baseConfig(DdpModel model)
+{
+    ClusterConfig cfg;
+    cfg.model = model;
+    cfg.numServers = 3;
+    cfg.clientsPerServer = 4;
+    cfg.keyCount = 2000;
+    cfg.workload = workload::WorkloadSpec::ycsbA(2000);
+    cfg.warmup = 200 * sim::kMicrosecond;
+    cfg.measure = 600 * sim::kMicrosecond;
+    cfg.seed = 11;
+    return cfg;
+}
+
+TEST(Torture, StagedCrashZeroLossModelLosesNothing)
+{
+    ClusterConfig cfg =
+        baseConfig({Consistency::Linearizable, Persistency::Strict});
+    cfg.clientRequestTimeout = 50 * sim::kMicrosecond;
+    cfg.node.valueLines = 4;
+
+    core::PropertyChecker checker;
+    Cluster cluster(cfg);
+    cluster.setChecker(&checker);
+    cluster.schedulePartialCrash(cfg.warmup + cfg.measure / 3, {1},
+                                 200 * sim::kMicrosecond);
+    RunResult r = cluster.run();
+
+    ASSERT_GT(r.reads + r.writes, 500u);
+    EXPECT_EQ(r.crashEpochs, 1u);
+    EXPECT_EQ(r.nodeRestarts, 1u);
+    EXPECT_GT(r.clientFailovers, 0u)
+        << "victim's clients must time out and rotate";
+    EXPECT_EQ(r.lostAckedWrites, 0u)
+        << "Strict persistency promises zero acked-write loss";
+    EXPECT_EQ(r.convergenceFailures, 0u)
+        << "restarted node must converge with survivors";
+    EXPECT_EQ(r.tornValuesInstalled, 0u);
+    EXPECT_EQ(r.tornReadsServed, 0u);
+}
+
+TEST(Torture, StagedCrashWeakBindingMayLoseOnlySuffix)
+{
+    // Causal/Eventual acknowledges before durability: the crash may
+    // cost acked writes, but only unpersisted suffixes — and never a
+    // torn value or a diverged restart.
+    ClusterConfig cfg =
+        baseConfig({Consistency::Causal, Persistency::Eventual});
+    cfg.clientRequestTimeout = 50 * sim::kMicrosecond;
+    cfg.node.valueLines = 4;
+
+    core::PropertyChecker checker;
+    Cluster cluster(cfg);
+    cluster.setChecker(&checker);
+    cluster.schedulePartialCrash(cfg.warmup + cfg.measure / 3, {2},
+                                 200 * sim::kMicrosecond);
+    RunResult r = cluster.run();
+
+    ASSERT_GT(r.reads + r.writes, 500u);
+    EXPECT_EQ(r.crashEpochs, 1u);
+    EXPECT_EQ(r.nodeRestarts, 1u);
+    EXPECT_EQ(r.convergenceFailures, 0u);
+    EXPECT_EQ(r.tornValuesInstalled, 0u);
+    EXPECT_EQ(r.tornReadsServed, 0u);
+    // Restarted node adopted the survivors' causal progress, so its
+    // apply pipeline cannot be wedged on dependencies lost downtime.
+    EXPECT_GT(r.reads, 0u);
+}
+
+TEST(Torture, RetransmitsAreDedupedExactlyOnce)
+{
+    // A timeout below the loaded synchronous-persist latency forces
+    // spurious timeouts: the coordinator is alive but slow, the client
+    // rotates through every server and back to one that already
+    // applied the write, which must recognize the duplicate by its
+    // client sequence number instead of applying it twice.
+    ClusterConfig cfg = baseConfig(
+        {Consistency::Linearizable, Persistency::Synchronous});
+    cfg.clientsPerServer = 12;
+    cfg.clientRequestTimeout = 15 * sim::kMicrosecond;
+
+    core::PropertyChecker checker;
+    Cluster cluster(cfg);
+    cluster.setChecker(&checker);
+    cluster.schedulePartialCrash(cfg.warmup + cfg.measure / 3, {1},
+                                 150 * sim::kMicrosecond);
+    RunResult r = cluster.run();
+
+    ASSERT_GT(r.reads + r.writes, 500u);
+    EXPECT_GT(r.clientRetransmits, 0u);
+    EXPECT_GT(r.clientRetransmitsDeduped, 0u)
+        << "at least one duplicate write must be recognized";
+    EXPECT_EQ(r.lostAckedWrites, 0u);
+    EXPECT_EQ(r.monotonicViolations, 0u);
+    EXPECT_EQ(r.staleReads, 0u);
+}
+
+TEST(Torture, XactAttemptCapAbandonsBatches)
+{
+    // With the attempt cap at the floor, any transaction that times
+    // out during the victim's downtime is abandoned rather than
+    // retried forever. Abandoned batches were never acked, so the
+    // zero-loss promise is untouched.
+    ClusterConfig cfg = baseConfig(
+        {Consistency::Transactional, Persistency::Synchronous});
+    cfg.clientRequestTimeout = 40 * sim::kMicrosecond;
+    cfg.xactMaxAttempts = 1;
+
+    core::PropertyChecker checker;
+    Cluster cluster(cfg);
+    cluster.setChecker(&checker);
+    cluster.schedulePartialCrash(cfg.warmup + cfg.measure / 3, {0},
+                                 200 * sim::kMicrosecond);
+    RunResult r = cluster.run();
+
+    ASSERT_GT(r.reads + r.writes, 200u);
+    EXPECT_GT(r.xactAbandoned, 0u);
+    EXPECT_EQ(r.lostAckedWrites, 0u);
+}
+
+TEST(Torture, TwoCrashEpochsAuditIndependently)
+{
+    // Two partial crashes in one run: the checker must audit each
+    // epoch against the writes still alive at that point, and a
+    // zero-loss binding must survive both.
+    ClusterConfig cfg =
+        baseConfig({Consistency::Linearizable, Persistency::Strict});
+    cfg.node.valueLines = 4;
+
+    core::PropertyChecker checker;
+    Cluster cluster(cfg);
+    cluster.setChecker(&checker);
+    cluster.schedulePartialCrash(cfg.warmup + cfg.measure / 4, {1});
+    cluster.schedulePartialCrash(cfg.warmup + cfg.measure / 2, {2});
+    RunResult r = cluster.run();
+
+    ASSERT_GT(r.reads + r.writes, 500u);
+    EXPECT_EQ(r.crashEpochs, 2u);
+    EXPECT_EQ(checker.crashEpochs(), 2u);
+    EXPECT_EQ(r.lostAckedWrites, 0u);
+    EXPECT_EQ(r.tornReadsServed, 0u);
+}
+
+TEST(Torture, CommitRecordsRollTornPersistsBack)
+{
+    // Multi-line values + a full crash mid-measure: some persists are
+    // caught mid-value, and with commit records every one of them is
+    // detected by checksum and rolled back — none installed.
+    ClusterConfig cfg =
+        baseConfig({Consistency::Linearizable, Persistency::Strict});
+    cfg.node.valueLines = 8;
+
+    core::PropertyChecker checker;
+    Cluster cluster(cfg);
+    cluster.setChecker(&checker);
+    cluster.scheduleCrash(cfg.warmup + cfg.measure / 3);
+    RunResult r = cluster.run();
+
+    ASSERT_GT(r.reads + r.writes, 500u);
+    EXPECT_GT(r.tornPersistsDetected, 0u)
+        << "8-line values under Strict persistency must catch some "
+           "persist mid-value";
+    EXPECT_EQ(r.tornValuesInstalled, 0u);
+    EXPECT_EQ(r.tornReadsServed, 0u);
+    EXPECT_EQ(r.lostAckedWrites, 0u);
+}
+
+TEST(Torture, AblationInstallsAndServesTornValues)
+{
+    // Same run without commit records: recovery trusts the newest
+    // version tag it finds and installs the torn copies.
+    ClusterConfig cfg =
+        baseConfig({Consistency::Linearizable, Persistency::Strict});
+    cfg.node.valueLines = 8;
+    cfg.node.commitRecords = false;
+
+    core::PropertyChecker checker;
+    Cluster cluster(cfg);
+    cluster.setChecker(&checker);
+    cluster.scheduleCrash(cfg.warmup + cfg.measure / 3);
+    RunResult r = cluster.run();
+
+    ASSERT_GT(r.reads + r.writes, 500u);
+    EXPECT_GT(r.tornValuesInstalled, 0u)
+        << "without commit records torn copies must win recovery";
+    EXPECT_EQ(r.tornPersistsDetected, 0u)
+        << "the ablation has no checksums to detect tears with";
+}
+
+} // namespace

@@ -1,0 +1,340 @@
+/**
+ * @file
+ * RecoveryAgent edge paths not reached by recovery_test.cc: degenerate
+ * coordinator inputs (zero keys, batch larger than the key space,
+ * single-node clusters), hostile message-level inputs (late summaries
+ * after a batch decided, stray and foreign-source acks), and the
+ * cross-batch interaction where one batch's unreachable verdict lets
+ * its siblings and successors complete without paying the timeout.
+ *
+ * Most tests drive the agent directly through hand-built Hooks and
+ * hand-crafted REC_* messages — no fabric, no timers — so each edge is
+ * hit deterministically rather than by tuning fault timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "ddp/protocol_node.hh"
+#include "ddp/recovery.hh"
+#include "net/fabric.hh"
+#include "net/fault.hh"
+#include "sim/event_queue.hh"
+#include "stats/counter.hh"
+
+using namespace ddp;
+using namespace ddp::core;
+using net::KeyId;
+using net::Message;
+using net::MsgType;
+using net::NodeId;
+using net::Version;
+using sim::kMicrosecond;
+using sim::kNanosecond;
+
+namespace {
+
+/**
+ * A coordinator wired to in-memory hooks: sends land in an outbox the
+ * test inspects and answers by calling onMessage() directly. Timer
+ * hooks are left empty, which disables batch timeouts — these tests
+ * exercise the message handlers, not the timeout machinery.
+ */
+struct DirectAgent
+{
+    std::map<KeyId, Version> store;
+    std::vector<std::pair<NodeId, Message>> outbox;
+    std::unique_ptr<RecoveryAgent> agent;
+
+    DirectAgent(NodeId self, std::uint32_t num_nodes)
+    {
+        RecoveryAgent::Hooks h;
+        h.persistedVersion = [this](KeyId k) {
+            auto it = store.find(k);
+            return it == store.end() ? Version{} : it->second;
+        };
+        h.install = [this](KeyId k, Version v) { store[k] = v; };
+        h.send = [this](NodeId to, Message m) {
+            outbox.emplace_back(to, std::move(m));
+        };
+        h.broadcast = [this, num_nodes, self](Message m) {
+            for (NodeId n = 0; n < num_nodes; ++n) {
+                if (n != self)
+                    outbox.emplace_back(n, m);
+            }
+        };
+        h.now = [] { return sim::Tick{0}; };
+        agent = std::make_unique<RecoveryAgent>(self, num_nodes,
+                                                std::move(h));
+    }
+
+    /** Craft a replica's REC_SUMMARY answering query @p q. */
+    static Message
+    summary(NodeId src, const Message &q,
+            const std::vector<Version> &versions)
+    {
+        Message s;
+        s.type = MsgType::RecSummary;
+        s.src = src;
+        s.key = q.key;
+        s.scopeId = q.scopeId;
+        s.opId = q.opId;
+        for (Version v : versions)
+            s.cauhist.push_back(RecoveryAgent::pack(v));
+        return s;
+    }
+
+    static Message
+    ack(NodeId src, std::uint64_t op_id)
+    {
+        Message a;
+        a.type = MsgType::RecAck;
+        a.src = src;
+        a.opId = op_id;
+        return a;
+    }
+};
+
+} // namespace
+
+TEST(RecoveryEdge, ZeroKeysCompletesWithoutAnyMessages)
+{
+    DirectAgent d(0, 3);
+    std::optional<RecoveryReport> report;
+    d.agent->startCoordinator(
+        0, 16, [&](const RecoveryReport &r) { report = r; });
+
+    ASSERT_TRUE(report.has_value());
+    EXPECT_EQ(report->batches, 0u);
+    EXPECT_EQ(report->keysInstalled, 0u);
+    EXPECT_TRUE(d.outbox.empty());
+    EXPECT_FALSE(d.agent->active());
+}
+
+TEST(RecoveryEdge, BatchLargerThanKeySpaceClampsTheQueryRange)
+{
+    DirectAgent d(0, 2);
+    d.store[3] = Version{4, 0};
+    std::optional<RecoveryReport> report;
+    d.agent->startCoordinator(
+        5, 64, [&](const RecoveryReport &r) { report = r; });
+
+    // One query to the only peer, covering exactly the 5 real keys.
+    ASSERT_EQ(d.outbox.size(), 1u);
+    Message q = d.outbox[0].second;
+    EXPECT_EQ(q.type, MsgType::RecQuery);
+    EXPECT_EQ(q.key, 0u);
+    EXPECT_EQ(q.scopeId, 5u);
+
+    d.agent->onMessage(DirectAgent::summary(
+        1, q,
+        {Version{}, Version{}, Version{}, Version{4, 0}, Version{}}));
+    ASSERT_TRUE(report.has_value());
+    EXPECT_EQ(report->batches, 1u);
+    EXPECT_EQ(report->keysInstalled, 1u);
+    EXPECT_EQ(report->divergentKeys, 0u);
+}
+
+TEST(RecoveryEdge, SingleNodeClusterDecidesFromLocalDataAlone)
+{
+    DirectAgent d(0, 1);
+    d.store[1] = Version{7, 0};
+    d.store[6] = Version{2, 0};
+    std::optional<RecoveryReport> report;
+    d.agent->startCoordinator(
+        8, 4, [&](const RecoveryReport &r) { report = r; });
+
+    ASSERT_TRUE(report.has_value());
+    EXPECT_EQ(report->batches, 2u);
+    EXPECT_EQ(report->keysInstalled, 2u);
+    EXPECT_TRUE(d.outbox.empty()) << "nobody to query or install to";
+    EXPECT_TRUE(report->unreachable.empty());
+    EXPECT_FALSE(report->degraded());
+}
+
+TEST(RecoveryEdge, LateAndForeignSummariesAreIgnoredAfterDecision)
+{
+    DirectAgent d(0, 3);
+    d.store[0] = Version{1, 0};
+    std::optional<RecoveryReport> report;
+    d.agent->startCoordinator(
+        2, 2, [&](const RecoveryReport &r) { report = r; });
+    ASSERT_EQ(d.outbox.size(), 2u); // queries to nodes 1 and 2
+    Message q = d.outbox[0].second;
+    d.outbox.clear();
+
+    // Node 1 disagrees (newer version) -> install round will follow.
+    d.agent->onMessage(DirectAgent::summary(
+        1, q, {Version{5, 1}, Version{}}));
+    // A summary from a node id outside the cluster must be dropped.
+    Message foreign =
+        DirectAgent::summary(7, q, {Version{9, 7}, Version{9, 7}});
+    d.agent->onMessage(foreign);
+    // Node 2 agrees with the winner; batch decides, installs start.
+    d.agent->onMessage(DirectAgent::summary(
+        2, q, {Version{5, 1}, Version{}}));
+
+    ASSERT_FALSE(report.has_value()) << "must wait for install acks";
+    ASSERT_EQ(d.outbox.size(), 2u); // installs to nodes 1 and 2
+    EXPECT_EQ(d.outbox[0].second.type, MsgType::RecInstall);
+    EXPECT_EQ(d.store[0], (Version{5, 1}));
+
+    // Late summaries after the decision (e.g. a timeout re-query that
+    // raced the original reply) must not disturb the install phase —
+    // and must not double-count keys or divergence.
+    d.agent->onMessage(DirectAgent::summary(
+        1, q, {Version{6, 1}, Version{6, 1}}));
+    EXPECT_EQ(d.store[0], (Version{5, 1}));
+
+    d.agent->onMessage(DirectAgent::ack(1, q.opId));
+    d.agent->onMessage(DirectAgent::ack(1, q.opId)); // duplicate ack
+    ASSERT_FALSE(report.has_value()) << "one ack is not two";
+    d.agent->onMessage(DirectAgent::ack(2, q.opId));
+    ASSERT_TRUE(report.has_value());
+    EXPECT_EQ(report->keysInstalled, 1u);
+    EXPECT_EQ(report->divergentKeys, 1u);
+
+    // The batch is gone: anything still referencing it is a no-op.
+    d.agent->onMessage(DirectAgent::ack(1, q.opId));
+    d.agent->onMessage(DirectAgent::summary(
+        2, q, {Version{8, 2}, Version{8, 2}}));
+    EXPECT_EQ(d.store[0], (Version{5, 1}));
+    EXPECT_FALSE(d.agent->active());
+}
+
+TEST(RecoveryEdge, AcksBeforeAnyInstallRoundAreStray)
+{
+    // An ack for a batch still in its summary phase (a confused or
+    // malicious replica) must not complete the batch early.
+    DirectAgent d(0, 3);
+    std::optional<RecoveryReport> report;
+    d.agent->startCoordinator(
+        2, 2, [&](const RecoveryReport &r) { report = r; });
+    Message q = d.outbox[0].second;
+
+    d.agent->onMessage(DirectAgent::ack(1, q.opId));
+    d.agent->onMessage(DirectAgent::ack(2, q.opId));
+    EXPECT_FALSE(report.has_value());
+    EXPECT_TRUE(d.agent->active());
+
+    // Unknown batch ids are equally harmless.
+    d.agent->onMessage(DirectAgent::ack(1, 999));
+
+    d.agent->onMessage(
+        DirectAgent::summary(1, q, {Version{}, Version{}}));
+    d.agent->onMessage(
+        DirectAgent::summary(2, q, {Version{}, Version{}}));
+    ASSERT_TRUE(report.has_value());
+    EXPECT_EQ(report->divergentKeys, 0u);
+}
+
+TEST(RecoveryEdge, ReplicaAnswersQueriesWhileCoordinatorRuns)
+{
+    // The replica role is stateless: a REC_QUERY is answered from NVM
+    // even on the node that is itself coordinating (re-queries after
+    // partial restarts land like this).
+    DirectAgent d(1, 3);
+    d.store[2] = Version{3, 1};
+    Message q;
+    q.type = MsgType::RecQuery;
+    q.src = 0;
+    q.key = 0;
+    q.scopeId = 4;
+    q.opId = 42;
+    d.agent->onMessage(q);
+
+    ASSERT_EQ(d.outbox.size(), 1u);
+    EXPECT_EQ(d.outbox[0].first, 0u);
+    const Message &s = d.outbox[0].second;
+    EXPECT_EQ(s.type, MsgType::RecSummary);
+    EXPECT_EQ(s.opId, 42u);
+    ASSERT_EQ(s.cauhist.size(), 4u);
+    EXPECT_EQ(RecoveryAgent::unpack(s.cauhist[2]), (Version{3, 1}));
+    EXPECT_EQ(RecoveryAgent::unpack(s.cauhist[0]), (Version{}));
+}
+
+// --------------------------------------------------------------------------
+// Cross-batch unreachable propagation (fabric-driven)
+// --------------------------------------------------------------------------
+
+namespace {
+
+struct EdgeHarness
+{
+    sim::EventQueue eq;
+    net::NetworkParams netp;
+    std::unique_ptr<net::FaultPlan> plan;
+    std::unique_ptr<net::Fabric> fabric;
+    stats::CounterRegistry ctr;
+    std::vector<std::unique_ptr<ProtocolNode>> nodes;
+
+    EdgeHarness(const net::FaultConfig &fc,
+                RecoveryAgent::Tuning tuning, std::uint32_t servers = 3,
+                std::uint64_t keys = 64)
+    {
+        netp.reliability.enabled = true;
+        plan = std::make_unique<net::FaultPlan>(fc, servers);
+        fabric = std::make_unique<net::Fabric>(eq, netp, servers);
+        fabric->setFaultPlan(plan.get());
+        NodeParams np;
+        np.model = {Consistency::Causal, Persistency::Synchronous};
+        np.numNodes = servers;
+        np.keyCount = keys;
+        np.opProcessing = 100 * kNanosecond;
+        np.msgProcessing = 50 * kNanosecond;
+        np.probeCost = 0;
+        np.recoveryTuning = tuning;
+        for (std::uint32_t n = 0; n < servers; ++n) {
+            nodes.push_back(std::make_unique<ProtocolNode>(
+                eq, *fabric, n, np, ctr, nullptr));
+        }
+    }
+};
+
+} // namespace
+
+TEST(RecoveryEdge, UnreachableVerdictSpareslaterBatchesTheTimeout)
+{
+    // Node 2 is dark from the start. Only the first pipelined window
+    // of batches should pay timeouts: once one of them exhausts its
+    // retries and declares node 2 unreachable, its siblings complete
+    // from the answers at hand and every later batch launches without
+    // awaiting node 2 at all. 16 batches; timeouts must stay bounded
+    // by the window, not scale with the batch count.
+    net::FaultConfig fc;
+    fc.seed = 3;
+    fc.outages.push_back(net::NodeOutage{2, 0, sim::kTickNever});
+    RecoveryAgent::Tuning tuning;
+    tuning.batchTimeout = 20 * kMicrosecond;
+    tuning.maxRetries = 1;
+    EdgeHarness h(fc, tuning);
+
+    // A key in the very last batch, present only on node 1: proves the
+    // post-unreachable batches still reconcile with the survivor.
+    h.nodes[1]->installRecovered(60, Version{9, 1});
+    for (auto &n : h.nodes)
+        n->crashVolatile();
+
+    std::optional<RecoveryReport> report;
+    h.nodes[0]->recoveryAgent().startCoordinator(
+        64, 4, [&](const RecoveryReport &r) { report = r; });
+    h.eq.run();
+
+    ASSERT_TRUE(report.has_value()) << "coordinator hung";
+    EXPECT_EQ(report->batches, 16u);
+    EXPECT_EQ(report->unreachable, std::vector<NodeId>{2});
+    EXPECT_GT(report->timeouts, 0u);
+    // First window: 4 batches x (1 retry + 1 final) timeouts at most.
+    EXPECT_LE(report->timeouts, 8u)
+        << "later batches must not wait for the dead replica";
+    EXPECT_LE(report->retries, 4u);
+    EXPECT_GE(report->quorumBatches, 1u);
+    EXPECT_LE(report->quorumBatches, 4u);
+    EXPECT_EQ(report->quorumFailures, 0u);
+    EXPECT_EQ(h.nodes[0]->visibleVersion(60), (Version{9, 1}));
+}

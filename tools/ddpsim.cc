@@ -12,6 +12,10 @@
  * Run `ddpsim --help` for the full flag list.
  */
 
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +26,7 @@
 #include <vector>
 
 #include "cluster/cluster.hh"
+#include "sim/random.hh"
 #include "stats/table.hh"
 
 using namespace ddp;
@@ -61,6 +66,25 @@ struct Options
     /** from_us:until_us — first half of servers vs the rest. */
     std::optional<std::pair<std::uint64_t, std::uint64_t>> partitionUs;
     std::string recovery = "voting";
+
+    // Crash-point torture + partial crash/restart (robustness PR).
+    /** Nodes a partial crash takes down (with --crash-at-us or
+     *  --torture); empty optional = full-system crash. */
+    std::optional<std::vector<net::NodeId>> crashNodes;
+    /** Downtime before crashed nodes restart; 0 = instant rebuild. */
+    std::uint64_t restartAfterUs = 0;
+    /** Client request timeout; 0 = auto (enabled only when a staged
+     *  restart needs failover). */
+    std::uint64_t reqTimeoutUs = 0;
+    /** 64B lines per value; 0 = auto (4 under --torture, else 1). */
+    std::uint32_t valueLines = 0;
+    /** Per-value commit records (off = torn-install ablation). */
+    bool commitRecords = true;
+    std::uint32_t xactMaxAttempts = 64;
+    /** Crash points per model; 0 = torture mode off. */
+    std::uint32_t torturePoints = 0;
+    /** Seeded-random crash points instead of evenly spaced ones. */
+    bool tortureRandom = false;
 };
 
 void
@@ -95,9 +119,36 @@ usage(std::ostream &os)
           "  --seed N            RNG seed (default 42)\n"
           "  --crash-at-us N     inject a full-system crash at N us\n"
           "                      after simulation start\n"
+          "  --crash-nodes LIST  comma-separated node ids: crash only\n"
+          "                      these (with --crash-at-us or\n"
+          "                      --torture) instead of the whole\n"
+          "                      cluster\n"
+          "  --restart-after-us N  downtime before crashed nodes\n"
+          "                      restart and re-join; 0 = instant\n"
+          "                      rebuild (default 0; torture with\n"
+          "                      --crash-nodes defaults to 200)\n"
+          "  --req-timeout-us N  client request timeout driving\n"
+          "                      coordinator failover (default: auto,\n"
+          "                      50 when a staged restart needs it)\n"
+          "  --value-lines N     64B lines per stored value (default:\n"
+          "                      4 under --torture, else 1)\n"
+          "  --no-commit-records torn-persist ablation: recovery\n"
+          "                      trusts the newest version tag and may\n"
+          "                      install torn values\n"
+          "  --xact-max-attempts N  attempts per transaction batch\n"
+          "                      before the client abandons it\n"
+          "                      (default 64)\n"
           "  --recovery R        voting | local | simulated —\n"
           "                      post-crash recovery policy\n"
           "                      (default voting)\n\n"
+          "torture sweep:\n"
+          "  --torture N         crash-point torture: re-run the seeded\n"
+          "                      workload crashing at N points per\n"
+          "                      model, audit durability after every\n"
+          "                      recovery, exit non-zero on any\n"
+          "                      taxonomy violation\n"
+          "  --torture-random    seeded-random crash points instead of\n"
+          "                      evenly spaced ones\n\n"
           "fault injection (enables reliable delivery):\n"
           "  --drop-rate R       per-message drop probability\n"
           "  --dup-rate R        per-message duplication probability\n"
@@ -114,6 +165,81 @@ usage(std::ostream &os)
           "output:\n"
           "  --format F          table | csv (default table)\n"
           "  --help              this text\n";
+}
+
+// --- Strict numeric parsing -----------------------------------------------
+// Every flag value must consume the whole string; garbage, signs,
+// overflow and out-of-range probabilities are rejected instead of being
+// silently truncated to whatever strtoul makes of them.
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty() || s[0] == '-' || s[0] == '+' ||
+        std::isspace(static_cast<unsigned char>(s[0])))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseU32(const std::string &s, std::uint32_t &out)
+{
+    std::uint64_t v;
+    if (!parseU64(s, v) || v > UINT32_MAX)
+        return false;
+    out = static_cast<std::uint32_t>(v);
+    return true;
+}
+
+bool
+parseDouble(const std::string &s, double &out)
+{
+    if (s.empty() || std::isspace(static_cast<unsigned char>(s[0])))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (errno != 0 || end != s.c_str() + s.size() || !std::isfinite(v))
+        return false;
+    out = v;
+    return true;
+}
+
+/** A probability: a finite double in [0, 1]. */
+bool
+parseProb(const std::string &s, double &out)
+{
+    double v;
+    if (!parseDouble(s, v) || v < 0.0 || v > 1.0)
+        return false;
+    out = v;
+    return true;
+}
+
+/** Comma-separated node-id list, e.g. "1,3". */
+bool
+parseNodeList(const std::string &s, std::vector<net::NodeId> &out)
+{
+    out.clear();
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        std::size_t comma = s.find(',', pos);
+        std::size_t len =
+            (comma == std::string::npos ? s.size() : comma) - pos;
+        std::uint32_t id;
+        if (!parseU32(s.substr(pos, len), id))
+            return false;
+        if (std::find(out.begin(), out.end(), id) == out.end())
+            out.push_back(id);
+        pos = comma == std::string::npos ? s.size() : comma + 1;
+    }
+    return !out.empty();
 }
 
 bool
@@ -191,9 +317,23 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.allModels = true;
             continue;
         }
+        if (flag == "--torture-random") {
+            opt.tortureRandom = true;
+            continue;
+        }
+        if (flag == "--no-commit-records") {
+            opt.commitRecords = false;
+            continue;
+        }
         if (!need_value(i))
             return false;
         std::string val = argv[++i];
+
+        auto bad = [&](const char *want) {
+            std::cerr << "invalid value '" << val << "' for " << flag
+                      << " (want " << want << ")\n";
+            return false;
+        };
 
         if (flag == "--consistency") {
             if (!parseConsistency(val, opt.model.consistency)) {
@@ -206,16 +346,18 @@ parseArgs(int argc, char **argv, Options &opt)
                 return false;
             }
         } else if (flag == "--servers") {
-            opt.servers = static_cast<std::uint32_t>(
-                std::strtoul(val.c_str(), nullptr, 10));
+            if (!parseU32(val, opt.servers) || opt.servers < 2)
+                return bad("integer >= 2");
         } else if (flag == "--clients-per-server") {
-            opt.clientsPerServer = static_cast<std::uint32_t>(
-                std::strtoul(val.c_str(), nullptr, 10));
+            if (!parseU32(val, opt.clientsPerServer) ||
+                opt.clientsPerServer == 0)
+                return bad("positive integer");
         } else if (flag == "--replication") {
-            opt.replication = static_cast<std::uint32_t>(
-                std::strtoul(val.c_str(), nullptr, 10));
+            if (!parseU32(val, opt.replication))
+                return bad("unsigned integer");
         } else if (flag == "--keys") {
-            opt.keys = std::strtoull(val.c_str(), nullptr, 10);
+            if (!parseU64(val, opt.keys) || opt.keys == 0)
+                return bad("positive integer");
         } else if (flag == "--workload") {
             if (val != "a" && val != "b" && val != "c" && val != "d" &&
                 val != "w") {
@@ -224,7 +366,8 @@ parseArgs(int argc, char **argv, Options &opt)
             }
             opt.workload = val;
         } else if (flag == "--theta") {
-            opt.theta = std::strtod(val.c_str(), nullptr);
+            if (!parseDouble(val, opt.theta) || opt.theta < 0.0)
+                return bad("non-negative number");
         } else if (flag == "--store") {
             kv::StoreKind k;
             if (!parseStore(val, k)) {
@@ -233,17 +376,49 @@ parseArgs(int argc, char **argv, Options &opt)
             }
             opt.store = val;
         } else if (flag == "--rtt-ns") {
-            opt.rttNs = std::strtoull(val.c_str(), nullptr, 10);
+            if (!parseU64(val, opt.rttNs))
+                return bad("unsigned integer");
         } else if (flag == "--bandwidth-gbps") {
-            opt.bandwidthGbps = std::strtoull(val.c_str(), nullptr, 10);
+            if (!parseU64(val, opt.bandwidthGbps) ||
+                opt.bandwidthGbps == 0)
+                return bad("positive integer");
         } else if (flag == "--warmup-us") {
-            opt.warmupUs = std::strtoull(val.c_str(), nullptr, 10);
+            if (!parseU64(val, opt.warmupUs))
+                return bad("unsigned integer");
         } else if (flag == "--measure-us") {
-            opt.measureUs = std::strtoull(val.c_str(), nullptr, 10);
+            if (!parseU64(val, opt.measureUs) || opt.measureUs == 0)
+                return bad("positive integer");
         } else if (flag == "--seed") {
-            opt.seed = std::strtoull(val.c_str(), nullptr, 10);
+            if (!parseU64(val, opt.seed))
+                return bad("unsigned integer");
         } else if (flag == "--crash-at-us") {
-            opt.crashAtUs = std::strtoull(val.c_str(), nullptr, 10);
+            std::uint64_t at;
+            if (!parseU64(val, at))
+                return bad("unsigned integer");
+            opt.crashAtUs = at;
+        } else if (flag == "--crash-nodes") {
+            std::vector<net::NodeId> nodes;
+            if (!parseNodeList(val, nodes))
+                return bad("comma-separated node ids, e.g. 1,3");
+            opt.crashNodes = std::move(nodes);
+        } else if (flag == "--restart-after-us") {
+            if (!parseU64(val, opt.restartAfterUs))
+                return bad("unsigned integer");
+        } else if (flag == "--req-timeout-us") {
+            if (!parseU64(val, opt.reqTimeoutUs))
+                return bad("unsigned integer");
+        } else if (flag == "--value-lines") {
+            if (!parseU32(val, opt.valueLines) || opt.valueLines == 0 ||
+                opt.valueLines > 64)
+                return bad("integer in [1, 64]");
+        } else if (flag == "--xact-max-attempts") {
+            if (!parseU32(val, opt.xactMaxAttempts) ||
+                opt.xactMaxAttempts == 0)
+                return bad("positive integer");
+        } else if (flag == "--torture") {
+            if (!parseU32(val, opt.torturePoints) ||
+                opt.torturePoints == 0)
+                return bad("positive integer");
         } else if (flag == "--recovery") {
             if (val != "voting" && val != "local" &&
                 val != "simulated") {
@@ -253,35 +428,39 @@ parseArgs(int argc, char **argv, Options &opt)
             }
             opt.recovery = val;
         } else if (flag == "--drop-rate") {
-            opt.dropRate = std::strtod(val.c_str(), nullptr);
+            if (!parseProb(val, opt.dropRate))
+                return bad("probability in [0, 1]");
         } else if (flag == "--dup-rate") {
-            opt.dupRate = std::strtod(val.c_str(), nullptr);
+            if (!parseProb(val, opt.dupRate))
+                return bad("probability in [0, 1]");
         } else if (flag == "--delay-rate") {
-            opt.delayRate = std::strtod(val.c_str(), nullptr);
+            if (!parseProb(val, opt.delayRate))
+                return bad("probability in [0, 1]");
         } else if (flag == "--delay-ns") {
-            opt.delayNs = std::strtoull(val.c_str(), nullptr, 10);
+            if (!parseU64(val, opt.delayNs))
+                return bad("unsigned integer");
         } else if (flag == "--reorder-rate") {
-            opt.reorderRate = std::strtod(val.c_str(), nullptr);
+            if (!parseProb(val, opt.reorderRate))
+                return bad("probability in [0, 1]");
         } else if (flag == "--fault-seed") {
-            opt.faultSeed = std::strtoull(val.c_str(), nullptr, 10);
+            if (!parseU64(val, opt.faultSeed))
+                return bad("unsigned integer");
         } else if (flag == "--isolate") {
-            char *colon = nullptr;
-            auto node = std::strtoul(val.c_str(), &colon, 10);
-            if (!colon || *colon != ':') {
-                std::cerr << "--isolate wants N:USEC\n";
-                return false;
-            }
-            auto from = std::strtoull(colon + 1, nullptr, 10);
-            opt.isolate.emplace_back(
-                static_cast<std::uint32_t>(node), from);
+            std::size_t colon = val.find(':');
+            std::uint32_t node;
+            std::uint64_t from;
+            if (colon == std::string::npos ||
+                !parseU32(val.substr(0, colon), node) ||
+                !parseU64(val.substr(colon + 1), from))
+                return bad("N:USEC");
+            opt.isolate.emplace_back(node, from);
         } else if (flag == "--partition-us") {
-            char *colon = nullptr;
-            auto from = std::strtoull(val.c_str(), &colon, 10);
-            if (!colon || *colon != ':') {
-                std::cerr << "--partition-us wants FROM:UNTIL\n";
-                return false;
-            }
-            auto until = std::strtoull(colon + 1, nullptr, 10);
+            std::size_t colon = val.find(':');
+            std::uint64_t from, until;
+            if (colon == std::string::npos ||
+                !parseU64(val.substr(0, colon), from) ||
+                !parseU64(val.substr(colon + 1), until) || until < from)
+                return bad("FROM:UNTIL with FROM <= UNTIL");
             opt.partitionUs = {from, until};
         } else if (flag == "--trace-file") {
             opt.traceFile = val;
@@ -296,6 +475,38 @@ parseArgs(int argc, char **argv, Options &opt)
             std::cerr << "unknown flag '" << flag << "' (see --help)\n";
             return false;
         }
+    }
+
+    if (opt.crashNodes) {
+        if (opt.crashNodes->size() >= opt.servers) {
+            std::cerr << "--crash-nodes must leave at least one "
+                         "survivor (" << opt.servers << " servers)\n";
+            return false;
+        }
+        for (net::NodeId n : *opt.crashNodes) {
+            if (n >= opt.servers) {
+                std::cerr << "--crash-nodes id " << n
+                          << " out of range (servers: " << opt.servers
+                          << ")\n";
+                return false;
+            }
+        }
+        if (!opt.crashAtUs && opt.torturePoints == 0) {
+            std::cerr << "--crash-nodes needs --crash-at-us or "
+                         "--torture to pick the crash point\n";
+            return false;
+        }
+    }
+    if (opt.torturePoints > 0 && opt.crashAtUs) {
+        std::cerr << "--torture picks its own crash points; drop "
+                     "--crash-at-us\n";
+        return false;
+    }
+    if (opt.crashAtUs &&
+        *opt.crashAtUs >= opt.warmupUs + opt.measureUs) {
+        std::cerr << "--crash-at-us lies past the end of the run ("
+                  << opt.warmupUs + opt.measureUs << " us)\n";
+        return false;
     }
     return true;
 }
@@ -318,6 +529,28 @@ makeConfig(const Options &opt, core::DdpModel model)
     kv::StoreKind kind;
     parseStore(opt.store, kind);
     cfg.node.storeKind = kind;
+    cfg.xactMaxAttempts = opt.xactMaxAttempts;
+
+    // Multi-line values: torture runs default to 4-line (256B) values
+    // so crashes can land mid-persist and exercise the torn-write
+    // machinery; plain runs keep the single-line fast path.
+    std::uint32_t value_lines =
+        opt.valueLines != 0 ? opt.valueLines
+                            : (opt.torturePoints > 0 ? 4 : 1);
+    cfg.node.valueLines = value_lines;
+    if (value_lines > 1)
+        cfg.node.persistCoalescing = true;
+    cfg.node.commitRecords = opt.commitRecords;
+
+    // A staged partial crash parks the victims' clients on a dead
+    // coordinator; only the request timeout gets them failing over, so
+    // it defaults on whenever a restart is in play.
+    std::uint64_t timeout_us = opt.reqTimeoutUs;
+    bool staged = opt.crashNodes &&
+                  (opt.restartAfterUs > 0 || opt.torturePoints > 0);
+    if (timeout_us == 0 && staged)
+        timeout_us = 50;
+    cfg.clientRequestTimeout = timeout_us * sim::kMicrosecond;
 
     if (opt.recovery == "local")
         cfg.recovery = cluster::RecoveryPolicy::LocalOnly;
@@ -393,7 +626,17 @@ runExperiment(const Options &opt, core::DdpModel model,
     core::PropertyChecker checker;
     if (opt.crashAtUs) {
         c.setChecker(&checker);
-        c.scheduleCrash(*opt.crashAtUs * sim::kMicrosecond);
+        sim::Tick at = *opt.crashAtUs * sim::kMicrosecond;
+        if (opt.crashNodes) {
+            if (opt.restartAfterUs > 0)
+                c.schedulePartialCrash(
+                    at, *opt.crashNodes,
+                    opt.restartAfterUs * sim::kMicrosecond);
+            else
+                c.schedulePartialCrash(at, *opt.crashNodes);
+        } else {
+            c.scheduleCrash(at);
+        }
     }
     Row row;
     row.model = model;
@@ -409,7 +652,11 @@ printRows(const Options &opt, const std::vector<Row> &rows)
         std::cout << "consistency,persistency,throughput_mreqs,"
                      "mean_read_ns,mean_write_ns,p95_read_ns,"
                      "p95_write_ns,messages,persists,xact_aborts,"
-                     "lost_acked_keys,net_dropped,net_retransmits,"
+                     "xact_abandoned,lost_acked_keys,lost_acked_writes,"
+                     "torn_detected,torn_installed,torn_served,"
+                     "node_restarts,convergence_failures,"
+                     "client_failovers,client_retransmits,"
+                     "retransmits_deduped,net_dropped,net_retransmits,"
                      "net_rto_timeouts,net_give_ups,unreachable\n";
         for (const Row &r : rows) {
             std::cout << core::consistencyName(r.model.consistency)
@@ -422,7 +669,17 @@ printRows(const Options &opt, const std::vector<Row> &rows)
                       << r.result.p95WriteNs << ','
                       << r.result.messages << ','
                       << r.result.persistsIssued << ','
-                      << r.result.xactAborted << ',' << r.lost << ','
+                      << r.result.xactAborted << ','
+                      << r.result.xactAbandoned << ',' << r.lost << ','
+                      << r.result.lostAckedWrites << ','
+                      << r.result.tornPersistsDetected << ','
+                      << r.result.tornValuesInstalled << ','
+                      << r.result.tornReadsServed << ','
+                      << r.result.nodeRestarts << ','
+                      << r.result.convergenceFailures << ','
+                      << r.result.clientFailovers << ','
+                      << r.result.clientRetransmits << ','
+                      << r.result.clientRetransmitsDeduped << ','
                       << r.result.netDropped << ','
                       << r.result.netRetransmits << ','
                       << r.result.netRtoTimeouts << ','
@@ -473,6 +730,174 @@ printRows(const Options &opt, const std::vector<Row> &rows)
     ft.print(std::cout);
 }
 
+// --------------------------------------------------------------------------
+// Crash-point torture sweep
+// --------------------------------------------------------------------------
+
+struct TortureRow
+{
+    core::DdpModel model;
+    std::uint64_t crashAtUs = 0;
+    bool staged = false;
+    bool zeroLoss = false;
+    bool violation = false;
+    cluster::RunResult result;
+};
+
+/**
+ * Re-run the seeded workload once per crash point per model, audit
+ * durability after every recovery, and judge each run against the
+ * Table 4 taxonomy:
+ *
+ *  - a zero-loss binding (Strict persistency, or Synchronous under
+ *    Linearizable/Transactional) must lose no acknowledged write;
+ *  - no torn value may ever be served to a client;
+ *  - with commit records on, recovery must never install a torn value;
+ *  - a restarted node must converge with the survivors.
+ */
+int
+runTorture(const Options &opt, const workload::Trace *trace)
+{
+    std::vector<core::DdpModel> models;
+    if (opt.allModels) {
+        for (const core::DdpModel &m : core::allModels()) {
+            if (opt.replication != 0 &&
+                (m.consistency == core::Consistency::Causal ||
+                 m.consistency == core::Consistency::Transactional)) {
+                std::cerr << "skipping " << core::modelName(m)
+                          << ": partial replication unsupported\n";
+                continue;
+            }
+            models.push_back(m);
+        }
+    } else {
+        models.push_back(opt.model);
+    }
+
+    // Crash points: evenly spaced through the measurement window, or
+    // seeded-random inside it. The same points are reused for every
+    // model so sweeps stay comparable.
+    sim::Pcg32 prng(opt.seed ^ 0x7047u, 1);
+    std::vector<std::uint64_t> points_us;
+    for (std::uint32_t i = 0; i < opt.torturePoints; ++i) {
+        std::uint64_t at =
+            opt.tortureRandom
+                ? opt.warmupUs + prng.nextU64() % opt.measureUs
+                : opt.warmupUs + (opt.measureUs *
+                                  static_cast<std::uint64_t>(i + 1)) /
+                                     (opt.torturePoints + 1);
+        points_us.push_back(at);
+    }
+
+    bool staged = opt.crashNodes.has_value();
+    std::uint64_t restart_us =
+        opt.restartAfterUs > 0 ? opt.restartAfterUs : 200;
+
+    std::vector<TortureRow> rows;
+    std::uint64_t violations = 0;
+    for (const core::DdpModel &model : models) {
+        std::cerr << "torturing " << core::modelName(model) << " ("
+                  << points_us.size() << " crash points)...\n";
+        for (std::uint64_t at_us : points_us) {
+            cluster::ClusterConfig cfg = makeConfig(opt, model);
+            cfg.trace = trace;
+            cluster::Cluster c(cfg);
+            core::PropertyChecker checker;
+            c.setChecker(&checker);
+            sim::Tick at = at_us * sim::kMicrosecond;
+            if (staged) {
+                c.schedulePartialCrash(at, *opt.crashNodes,
+                                       restart_us * sim::kMicrosecond);
+            } else {
+                c.scheduleCrash(at);
+            }
+
+            TortureRow row;
+            row.model = model;
+            row.crashAtUs = at_us;
+            row.staged = staged;
+            row.result = c.run();
+            row.zeroLoss = core::writesDurableAtCompletion(model);
+            row.violation =
+                (row.zeroLoss && row.result.lostAckedWrites > 0) ||
+                row.result.tornReadsServed > 0 ||
+                (opt.commitRecords &&
+                 row.result.tornValuesInstalled > 0) ||
+                row.result.convergenceFailures > 0;
+            if (row.violation)
+                ++violations;
+            rows.push_back(std::move(row));
+        }
+    }
+
+    if (opt.csv) {
+        std::cout << "consistency,persistency,crash_at_us,crash_mode,"
+                     "zero_loss_required,lost_acked_keys,"
+                     "lost_acked_writes,torn_detected,torn_installed,"
+                     "torn_served,node_restarts,convergence_failures,"
+                     "client_failovers,retransmits_deduped,"
+                     "xact_abandoned,violation\n";
+        for (const TortureRow &r : rows) {
+            std::cout << core::consistencyName(r.model.consistency)
+                      << ','
+                      << core::persistencyName(r.model.persistency)
+                      << ',' << r.crashAtUs << ','
+                      << (r.staged ? "partial" : "full") << ','
+                      << (r.zeroLoss ? 1 : 0) << ','
+                      << r.result.lostAckedWriteKeys << ','
+                      << r.result.lostAckedWrites << ','
+                      << r.result.tornPersistsDetected << ','
+                      << r.result.tornValuesInstalled << ','
+                      << r.result.tornReadsServed << ','
+                      << r.result.nodeRestarts << ','
+                      << r.result.convergenceFailures << ','
+                      << r.result.clientFailovers << ','
+                      << r.result.clientRetransmitsDeduped << ','
+                      << r.result.xactAbandoned << ','
+                      << (r.violation ? 1 : 0) << '\n';
+        }
+    } else {
+        // Per-model summary over all crash points.
+        stats::Table t({"Model", "Points", "ZeroLoss", "LostWrites",
+                        "TornDet", "TornInst", "TornServed", "ConvFail",
+                        "Viol"});
+        std::size_t idx = 0;
+        for (const core::DdpModel &model : models) {
+            std::uint64_t lost = 0, torn_det = 0, torn_inst = 0;
+            std::uint64_t torn_served = 0, conv = 0, viol = 0;
+            bool zero_loss = false;
+            for (std::uint32_t i = 0; i < points_us.size(); ++i) {
+                const TortureRow &r = rows[idx++];
+                lost += r.result.lostAckedWrites;
+                torn_det += r.result.tornPersistsDetected;
+                torn_inst += r.result.tornValuesInstalled;
+                torn_served += r.result.tornReadsServed;
+                conv += r.result.convergenceFailures;
+                viol += r.violation ? 1 : 0;
+                zero_loss = r.zeroLoss;
+            }
+            t.addRow({core::modelName(model),
+                      std::to_string(points_us.size()),
+                      zero_loss ? "yes" : "no", std::to_string(lost),
+                      std::to_string(torn_det),
+                      std::to_string(torn_inst),
+                      std::to_string(torn_served), std::to_string(conv),
+                      std::to_string(viol)});
+        }
+        t.print(std::cout);
+    }
+
+    if (violations > 0) {
+        std::cerr << "TORTURE FAILED: " << violations << " of "
+                  << rows.size() << " runs violated the durability "
+                  << "taxonomy\n";
+        return 1;
+    }
+    std::cerr << "torture passed: " << rows.size()
+              << " crash/recovery runs, zero taxonomy violations\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -494,6 +919,9 @@ main(int argc, char **argv)
         trace_ptr = &trace;
         std::cerr << "replaying " << trace.size() << " traced ops\n";
     }
+
+    if (opt.torturePoints > 0)
+        return runTorture(opt, trace_ptr);
 
     std::vector<Row> rows;
     if (opt.allModels) {
