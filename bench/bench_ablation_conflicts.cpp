@@ -15,19 +15,25 @@ using namespace ddp;
 using namespace ddp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     printHeader("Ablation: transaction conflicts vs client count "
                 "(<Transactional, Synchronous>, YCSB-A)");
 
-    stats::Table t({"Clients", "XactsStarted", "Conflicted%", "Abort%",
-                    "Throughput(Mreq/s)"});
+    SweepQueue sweep(benchJobs(argc, argv));
     for (std::uint32_t clients : {10u, 50u, 100u, 150u}) {
         cluster::ClusterConfig cfg = paperConfig(
             {core::Consistency::Transactional,
              core::Persistency::Synchronous});
         cfg.clientsPerServer = std::max(1u, clients / cfg.numServers);
-        cluster::RunResult r = runOne(cfg);
+        sweep.add(cfg);
+    }
+    sweep.runAll("ablation_conflicts");
+
+    stats::Table t({"Clients", "XactsStarted", "Conflicted%", "Abort%",
+                    "Throughput(Mreq/s)"});
+    for (std::uint32_t clients : {10u, 50u, 100u, 150u}) {
+        cluster::RunResult r = sweep.next();
         double conflicted =
             r.xactStarted == 0
                 ? 0.0
@@ -41,7 +47,6 @@ main()
                   stats::Table::num(conflicted, 1),
                   stats::Table::num(aborts, 1),
                   stats::Table::num(r.throughput / 1e6, 1)});
-        std::cerr << "  ran " << clients << " clients\n";
     }
     t.print(std::cout);
     std::cout << "\npaper reference: ~30% of transactions conflict at "

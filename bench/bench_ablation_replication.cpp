@@ -19,13 +19,12 @@ using namespace ddp;
 using namespace ddp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     printHeader("Ablation: replication factor (R of 5 servers, "
                 "Synchronous persistency)");
 
-    stats::Table t({"Model", "R", "Throughput(Mreq/s)", "Msgs/Write",
-                    "MeanWrite(ns)"});
+    SweepQueue sweep(benchJobs(argc, argv));
     for (core::Consistency c :
          {core::Consistency::Linearizable,
           core::Consistency::Eventual}) {
@@ -33,7 +32,18 @@ main()
             cluster::ClusterConfig cfg = paperConfig(
                 {c, core::Persistency::Synchronous});
             cfg.replicationFactor = factor;
-            cluster::RunResult r = runOne(cfg);
+            sweep.add(cfg);
+        }
+    }
+    sweep.runAll("ablation_replication");
+
+    stats::Table t({"Model", "R", "Throughput(Mreq/s)", "Msgs/Write",
+                    "MeanWrite(ns)"});
+    for (core::Consistency c :
+         {core::Consistency::Linearizable,
+          core::Consistency::Eventual}) {
+        for (std::uint32_t factor : {2u, 3u, 5u}) {
+            const cluster::RunResult &r = sweep.next();
             double mpw = r.writes == 0
                              ? 0.0
                              : static_cast<double>(r.messages) /
@@ -44,8 +54,6 @@ main()
                       stats::Table::num(r.throughput / 1e6, 1),
                       stats::Table::num(mpw, 1),
                       stats::Table::num(r.meanWriteNs, 0)});
-            std::cerr << "  ran " << core::consistencyName(c) << " R="
-                      << factor << "\n";
         }
     }
     t.print(std::cout);

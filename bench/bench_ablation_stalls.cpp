@@ -15,7 +15,7 @@ using namespace ddp;
 using namespace ddp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     printHeader("Ablation: read stalls against yet-to-persist writes");
 
@@ -31,10 +31,15 @@ main()
          core::Persistency::Synchronous},
     };
 
+    SweepQueue sweep(benchJobs(argc, argv));
+    for (const core::DdpModel &m : models)
+        sweep.add(paperConfig(m));
+    sweep.runAll("ablation_stalls");
+
     stats::Table t({"Model", "Reads", "PersistStall%", "VisibStall%",
                     "MeanRead(ns)", "p95Read(ns)"});
     for (const core::DdpModel &m : models) {
-        cluster::RunResult r = runOne(paperConfig(m));
+        const cluster::RunResult &r = sweep.next();
         double persist_pct = 100.0 * r.persistStallFraction();
         double visib_pct =
             r.reads == 0
@@ -46,7 +51,6 @@ main()
                   stats::Table::num(visib_pct, 1),
                   stats::Table::num(r.meanReadNs, 0),
                   stats::Table::num(r.p95ReadNs, 0)});
-        std::cerr << "  ran " << core::modelName(m) << "\n";
     }
     t.print(std::cout);
     std::cout << "\npaper reference: >30% of reads conflict with a "

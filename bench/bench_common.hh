@@ -8,19 +8,36 @@
  * 20 clients per server, YCSB over a zipfian key space, 200 Gb/s NICs
  * with a 1 us round trip, DRAM + NVM per server.
  *
+ * Sweep parallelism: every figure is a fan-out of independent
+ * deterministic runs, so benches queue their configurations in a
+ * SweepQueue and execute them across cores (results come back in
+ * submission order — output is byte-identical to a serial run; see
+ * DESIGN.md, "Parallel sweeps stay deterministic").
+ *
  * Environment knobs:
  *   DDP_BENCH_MEASURE_US  measurement window per run (default 3000)
  *   DDP_BENCH_WARMUP_US   warmup window per run (default 1000)
+ *   DDP_BENCH_JOBS        worker threads per sweep (default 1;
+ *                         0 = one per hardware thread); the --jobs N
+ *                         CLI flag overrides it
+ *   DDP_BENCH_JSON_DIR    when set, benches write machine-readable
+ *                         BENCH_<name>.json perf records there
  */
 
 #ifndef DDP_BENCH_COMMON_HH
 #define DDP_BENCH_COMMON_HH
 
+#include <cassert>
+#include <chrono>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "cluster/cluster.hh"
+#include "sim/sweep_runner.hh"
 #include "stats/table.hh"
 
 namespace ddp::bench {
@@ -30,6 +47,26 @@ envOr(const char *name, std::uint64_t fallback)
 {
     const char *v = std::getenv(name);
     return v ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+/**
+ * Sweep worker-thread count: `--jobs N` on the command line, else
+ * DDP_BENCH_JOBS, else 1 (serial). 0 means one job per hardware
+ * thread.
+ */
+inline unsigned
+benchJobs(int argc = 0, char **argv = nullptr)
+{
+    auto resolve = [](unsigned long v) {
+        return v == 0 ? sim::ThreadPool::hardwareThreads()
+                      : static_cast<unsigned>(v);
+    };
+    for (int i = 1; argv != nullptr && i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0)
+            return resolve(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+    const char *env = std::getenv("DDP_BENCH_JOBS");
+    return env ? resolve(std::strtoul(env, nullptr, 10)) : 1u;
 }
 
 /** Paper Table 5 default configuration. */
@@ -57,6 +94,74 @@ runOne(const cluster::ClusterConfig &cfg)
     return c.run();
 }
 
+/**
+ * Deferred sweep: queue independent configurations, run them all (at
+ * most `jobs` concurrently), then consume the results in submission
+ * order. The two-pass pattern keeps the bench loops' structure — first
+ * pass add()s configs, runAll() fans out, second pass next()s results
+ * in exactly the order the serial code produced them.
+ */
+class SweepQueue
+{
+  public:
+    explicit SweepQueue(unsigned jobs) : jobCount(jobs) {}
+
+    /** Queue one run; returns its index. */
+    std::size_t
+    add(cluster::ClusterConfig cfg)
+    {
+        cfgs.push_back(std::move(cfg));
+        return cfgs.size() - 1;
+    }
+
+    /** Execute every queued run and print an events/sec summary. */
+    void
+    runAll(const char *label = "sweep")
+    {
+        auto t0 = std::chrono::steady_clock::now();
+        sim::SweepRunner runner(jobCount);
+        results = runner.map(cfgs.size(), [this](std::size_t i) {
+            return runOne(cfgs[i]);
+        });
+        double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        std::uint64_t events = 0;
+        for (const cluster::RunResult &r : results)
+            events += r.eventsExecuted;
+        std::cerr << label << ": " << results.size() << " runs, "
+                  << events << " events in " << wall << " s ("
+                  << (wall > 0 ? static_cast<double>(events) / wall
+                               : 0.0)
+                  << " events/s, " << runner.jobs() << " jobs)\n";
+        cursor = 0;
+    }
+
+    /** Result of run @p i (after runAll()). */
+    const cluster::RunResult &
+    result(std::size_t i) const
+    {
+        assert(i < results.size());
+        return results[i];
+    }
+
+    /** Next result in submission order (for two-pass loops). */
+    const cluster::RunResult &
+    next()
+    {
+        assert(cursor < results.size());
+        return results[cursor++];
+    }
+
+    std::size_t size() const { return cfgs.size(); }
+
+  private:
+    unsigned jobCount;
+    std::vector<cluster::ClusterConfig> cfgs;
+    std::vector<cluster::RunResult> results;
+    std::size_t cursor = 0;
+};
+
 /** Short model label, e.g. "Linear+Synchronous". */
 inline std::string
 shortName(const core::DdpModel &m)
@@ -76,6 +181,149 @@ inline void
 printHeader(const std::string &title)
 {
     std::cout << "\n=== " << title << " ===\n\n";
+}
+
+// --------------------------------------------------------------------------
+// Machine-readable perf records (BENCH_*.json)
+// --------------------------------------------------------------------------
+
+/**
+ * Streaming writer for a JSON array of flat records. One field per
+ * line so nondeterministic host-timing fields (wall_seconds,
+ * events_per_sec) can be stripped with `grep -v` when byte-comparing
+ * outputs across runs.
+ */
+class JsonArrayWriter
+{
+  public:
+    explicit JsonArrayWriter(std::ostream &os) : os(os) { os << "[\n"; }
+
+    void
+    beginRecord()
+    {
+        os << (firstRecord ? "  {\n" : ",\n  {\n");
+        firstRecord = false;
+        firstField = true;
+    }
+
+    void
+    field(const char *key, const std::string &v)
+    {
+        sep();
+        os << '"' << key << "\": \"";
+        for (char c : v) {
+            if (c == '"' || c == '\\')
+                os << '\\';
+            os << c;
+        }
+        os << '"';
+    }
+
+    void field(const char *key, const char *v) { field(key, std::string(v)); }
+
+    void
+    field(const char *key, double v)
+    {
+        sep();
+        os << '"' << key << "\": " << v;
+    }
+
+    void
+    field(const char *key, std::uint64_t v)
+    {
+        sep();
+        os << '"' << key << "\": " << v;
+    }
+
+    void
+    field(const char *key, bool v)
+    {
+        sep();
+        os << '"' << key << "\": " << (v ? "true" : "false");
+    }
+
+    void endRecord() { os << "\n  }"; }
+
+    void finish() { os << "\n]\n"; }
+
+  private:
+    void
+    sep()
+    {
+        os << (firstField ? "    " : ",\n    ");
+        firstField = false;
+    }
+
+    std::ostream &os;
+    bool firstRecord = true;
+    bool firstField = true;
+};
+
+/**
+ * Emit the standard perf fields of one run — the schema ddpsim
+ * `--format json` and every BENCH_*.json artifact share, so the perf
+ * trajectory can be tracked across PRs with one parser.
+ */
+inline void
+jsonPerfFields(JsonArrayWriter &w, const core::DdpModel &m,
+               std::uint64_t seed, const cluster::RunResult &r)
+{
+    w.field("model", core::modelName(m));
+    w.field("consistency", core::consistencyName(m.consistency));
+    w.field("persistency", core::persistencyName(m.persistency));
+    w.field("seed", seed);
+    w.field("ops_per_sec", r.throughput);
+    w.field("reads", r.reads);
+    w.field("writes", r.writes);
+    w.field("mean_read_ns", r.meanReadNs);
+    w.field("mean_write_ns", r.meanWriteNs);
+    w.field("p50_read_ns", r.p50ReadNs);
+    w.field("p95_read_ns", r.p95ReadNs);
+    w.field("p99_read_ns", r.p99ReadNs);
+    w.field("p50_write_ns", r.p50WriteNs);
+    w.field("p95_write_ns", r.p95WriteNs);
+    w.field("p99_write_ns", r.p99WriteNs);
+    w.field("messages", r.messages);
+    w.field("persists", r.persistsIssued);
+    w.field("events_executed", r.eventsExecuted);
+    // Host-timing fields last and one per line: strip with
+    //   grep -vE '"(wall_seconds|events_per_sec)"'
+    // before byte-comparing across runs.
+    w.field("wall_seconds", r.wallSeconds);
+    w.field("events_per_sec", r.eventsPerSec());
+}
+
+/**
+ * Write BENCH_<bench>.json into $DDP_BENCH_JSON_DIR (no-op when the
+ * variable is unset). @p models and @p results are parallel arrays.
+ */
+inline void
+writeBenchJson(const char *bench,
+               const std::vector<core::DdpModel> &models,
+               std::uint64_t seed,
+               const std::vector<cluster::RunResult> &results)
+{
+    const char *dir = std::getenv("DDP_BENCH_JSON_DIR");
+    if (dir == nullptr || *dir == '\0')
+        return;
+    assert(models.size() == results.size());
+    std::string path =
+        std::string(dir) + "/BENCH_" + bench + ".json";
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot write " << path << "\n";
+        return;
+    }
+    JsonArrayWriter w(out);
+    for (std::size_t i = 0; i < models.size(); ++i) {
+        w.beginRecord();
+        w.field("schema", "ddp-bench-v1");
+        w.field("bench", bench);
+        jsonPerfFields(w, models[i], seed, results[i]);
+        w.endRecord();
+    }
+    w.finish();
+    std::cerr << "wrote " << path << "\n";
 }
 
 } // namespace ddp::bench

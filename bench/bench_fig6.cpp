@@ -26,23 +26,34 @@ using namespace ddp;
 using namespace ddp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     printHeader("Figure 6: performance of the 25 DDP models "
                 "(YCSB-A, 100 clients, normalized to <Linear, "
                 "Synchronous>)");
 
-    std::map<std::string, cluster::RunResult> results;
-    cluster::RunResult base;
+    std::vector<core::DdpModel> models;
+    SweepQueue sweep(benchJobs(argc, argv));
     for (const core::DdpModel &m : core::allModels()) {
-        cluster::RunResult r = runOne(paperConfig(m));
+        models.push_back(m);
+        sweep.add(paperConfig(m));
+    }
+    sweep.runAll("fig6");
+
+    std::map<std::string, cluster::RunResult> results;
+    std::vector<cluster::RunResult> ordered;
+    cluster::RunResult base;
+    for (std::size_t i = 0; i < models.size(); ++i) {
+        const core::DdpModel &m = models[i];
+        cluster::RunResult r = sweep.next();
+        ordered.push_back(r);
         results[shortName(m)] = r;
         if (m.consistency == core::Consistency::Linearizable &&
             m.persistency == core::Persistency::Synchronous) {
             base = r;
         }
-        std::cerr << "  ran " << core::modelName(m) << "\n";
     }
+    writeBenchJson("fig6", models, 42, ordered);
 
     struct Series
     {

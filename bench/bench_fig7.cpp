@@ -24,7 +24,7 @@ using namespace ddp;
 using namespace ddp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     printHeader("Figure 7: sensitivity to the number of clients "
                 "(normalized to <Linear, Synchronous> @ 100 clients)");
@@ -33,24 +33,18 @@ main()
     const core::Consistency consistencies[] = {
         core::Consistency::Linearizable, core::Consistency::Causal};
 
-    double base = 0.0;
-    stats::Table t({"Clients", "Consistency", "Synchronous", "Strict",
-                    "Read-Enforced", "Scope", "Eventual"});
-
-    // First pass to compute the normalization base.
+    // Queue the normalization base first, then every cell in table
+    // order; consume in the same order after the parallel sweep.
+    SweepQueue sweep(benchJobs(argc, argv));
     {
         cluster::ClusterConfig cfg = paperConfig(
             {core::Consistency::Linearizable,
              core::Persistency::Synchronous});
         cfg.clientsPerServer = 100 / cfg.numServers;
-        base = runOne(cfg).throughput;
+        sweep.add(cfg);
     }
-
     for (std::uint32_t clients : client_counts) {
         for (core::Consistency c : consistencies) {
-            std::vector<std::string> row{
-                std::to_string(clients) + "-clients",
-                core::consistencyName(c)};
             for (core::Persistency p :
                  {core::Persistency::Synchronous,
                   core::Persistency::Strict,
@@ -60,11 +54,23 @@ main()
                 cluster::ClusterConfig cfg = paperConfig({c, p});
                 cfg.clientsPerServer =
                     std::max(1u, clients / cfg.numServers);
-                cluster::RunResult r = runOne(cfg);
-                row.push_back(
-                    stats::Table::num(r.throughput / base, 2));
-                std::cerr << "  ran " << core::modelName({c, p}) << " @ "
-                          << clients << " clients\n";
+                sweep.add(cfg);
+            }
+        }
+    }
+    sweep.runAll("fig7");
+
+    double base = sweep.next().throughput;
+    stats::Table t({"Clients", "Consistency", "Synchronous", "Strict",
+                    "Read-Enforced", "Scope", "Eventual"});
+    for (std::uint32_t clients : client_counts) {
+        for (core::Consistency c : consistencies) {
+            std::vector<std::string> row{
+                std::to_string(clients) + "-clients",
+                core::consistencyName(c)};
+            for (int p = 0; p < 5; ++p) {
+                row.push_back(stats::Table::num(
+                    sweep.next().throughput / base, 2));
             }
             t.addRow(row);
         }

@@ -16,7 +16,7 @@ using namespace ddp;
 using namespace ddp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     printHeader("Figure 8: sensitivity to NIC-to-NIC round-trip latency "
                 "(normalized to <Linear, Synchronous> @ 1us)");
@@ -27,20 +27,13 @@ main()
     const core::Consistency consistencies[] = {
         core::Consistency::Linearizable, core::Consistency::Causal};
 
-    double base = 0.0;
-    {
-        cluster::ClusterConfig cfg = paperConfig(
-            {core::Consistency::Linearizable,
-             core::Persistency::Synchronous});
-        base = runOne(cfg).throughput;
-    }
-
-    stats::Table t({"RTT", "Consistency", "Synchronous", "Strict",
-                    "Read-Enforced", "Scope", "Eventual"});
+    // Queue the normalization base first, then every cell in table
+    // order; consume in the same order after the parallel sweep.
+    SweepQueue sweep(benchJobs(argc, argv));
+    sweep.add(paperConfig({core::Consistency::Linearizable,
+                           core::Persistency::Synchronous}));
     for (int i = 0; i < 3; ++i) {
         for (core::Consistency c : consistencies) {
-            std::vector<std::string> row{rtt_names[i],
-                                         core::consistencyName(c)};
             for (core::Persistency p :
                  {core::Persistency::Synchronous,
                   core::Persistency::Strict,
@@ -49,11 +42,22 @@ main()
                   core::Persistency::Eventual}) {
                 cluster::ClusterConfig cfg = paperConfig({c, p});
                 cfg.network.roundTrip = rtts[i];
-                cluster::RunResult r = runOne(cfg);
-                row.push_back(
-                    stats::Table::num(r.throughput / base, 2));
-                std::cerr << "  ran " << core::modelName({c, p}) << " @ "
-                          << rtt_names[i] << "\n";
+                sweep.add(cfg);
+            }
+        }
+    }
+    sweep.runAll("fig8");
+
+    double base = sweep.next().throughput;
+    stats::Table t({"RTT", "Consistency", "Synchronous", "Strict",
+                    "Read-Enforced", "Scope", "Eventual"});
+    for (int i = 0; i < 3; ++i) {
+        for (core::Consistency c : consistencies) {
+            std::vector<std::string> row{rtt_names[i],
+                                         core::consistencyName(c)};
+            for (int p = 0; p < 5; ++p) {
+                row.push_back(stats::Table::num(
+                    sweep.next().throughput / base, 2));
             }
             t.addRow(row);
         }

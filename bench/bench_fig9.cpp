@@ -16,7 +16,7 @@ using namespace ddp;
 using namespace ddp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     printHeader("Figure 9: sensitivity to the read/write mix "
                 "(normalized to <Linear, Synchronous> @ workload-A)");
@@ -34,20 +34,13 @@ main()
     const core::Consistency consistencies[] = {
         core::Consistency::Linearizable, core::Consistency::Causal};
 
-    double base = 0.0;
-    {
-        cluster::ClusterConfig cfg = paperConfig(
-            {core::Consistency::Linearizable,
-             core::Persistency::Synchronous});
-        base = runOne(cfg).throughput;
-    }
-
-    stats::Table t({"Workload", "Consistency", "Synchronous", "Strict",
-                    "Read-Enforced", "Scope", "Eventual"});
+    // Queue the normalization base first, then every cell in table
+    // order; consume in the same order after the parallel sweep.
+    SweepQueue sweep(benchJobs(argc, argv));
+    sweep.add(paperConfig({core::Consistency::Linearizable,
+                           core::Persistency::Synchronous}));
     for (const Mix &mix : mixes) {
         for (core::Consistency c : consistencies) {
-            std::vector<std::string> row{mix.name,
-                                         core::consistencyName(c)};
             for (core::Persistency p :
                  {core::Persistency::Synchronous,
                   core::Persistency::Strict,
@@ -56,11 +49,22 @@ main()
                   core::Persistency::Eventual}) {
                 cluster::ClusterConfig cfg = paperConfig({c, p});
                 cfg.workload = mix.make(cfg.keyCount);
-                cluster::RunResult r = runOne(cfg);
-                row.push_back(
-                    stats::Table::num(r.throughput / base, 2));
-                std::cerr << "  ran " << core::modelName({c, p}) << " @ "
-                          << mix.name << "\n";
+                sweep.add(cfg);
+            }
+        }
+    }
+    sweep.runAll("fig9");
+
+    double base = sweep.next().throughput;
+    stats::Table t({"Workload", "Consistency", "Synchronous", "Strict",
+                    "Read-Enforced", "Scope", "Eventual"});
+    for (const Mix &mix : mixes) {
+        for (core::Consistency c : consistencies) {
+            std::vector<std::string> row{mix.name,
+                                         core::consistencyName(c)};
+            for (int p = 0; p < 5; ++p) {
+                row.push_back(stats::Table::num(
+                    sweep.next().throughput / base, 2));
             }
             t.addRow(row);
         }

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * A/B microbenchmarks of the event-loop hot path, quantifying the
+ * kernel overhaul (inline small-buffer callbacks, explicit binary
+ * heap, generation-tagged timer slots) against a faithful replica of
+ * the previous kernel (std::function callbacks, std::priority_queue,
+ * unordered_set timer bookkeeping). The `legacy_` / `current_`
+ * benchmark pairs run the same workload; compare items_per_second
+ * (events/sec) between them:
+ *
+ *   bench/bench_sim_hotpath --benchmark_filter='ScheduleRun|TimerChurn'
+ *
+ * BM_Current_ClusterEventsPerSec reports end-to-end simulator
+ * throughput (simulated events per host second) for a small
+ * paper-configuration run — the number the sweep summaries print.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/cluster.hh"
+#include "sim/event_queue.hh"
+
+using namespace ddp;
+
+namespace legacy {
+
+/**
+ * Replica of the pre-overhaul event kernel: heap-allocating
+ * std::function events, std::priority_queue storage (with the
+ * const_cast-from-top move), and hash-set timer liveness tracking.
+ * Kept here solely as the A/B baseline for the benchmarks below.
+ */
+class EventQueue
+{
+  public:
+    using EventFn = std::function<void()>;
+    using TimerId = std::uint64_t;
+
+    void
+    schedule(sim::Tick when, EventFn fn)
+    {
+        events.push(Entry{when, seq++, 0, std::move(fn)});
+    }
+
+    TimerId
+    scheduleTimer(sim::Tick when, EventFn fn)
+    {
+        TimerId id = nextTimer++;
+        liveTimers.insert(id);
+        events.push(Entry{when, seq++, id, std::move(fn)});
+        return id;
+    }
+
+    void
+    cancelTimer(TimerId id)
+    {
+        if (liveTimers.erase(id) > 0)
+            cancelledTimers.insert(id);
+    }
+
+    bool
+    step()
+    {
+        while (!events.empty() && events.top().timer != 0 &&
+               cancelledTimers.count(events.top().timer) > 0) {
+            cancelledTimers.erase(events.top().timer);
+            events.pop();
+        }
+        if (events.empty())
+            return false;
+        Entry &top = const_cast<Entry &>(events.top());
+        nowTick = top.when;
+        EventFn fn = std::move(top.fn);
+        TimerId timer = top.timer;
+        events.pop();
+        if (timer != 0)
+            liveTimers.erase(timer);
+        ++executed;
+        fn();
+        return true;
+    }
+
+    void
+    run()
+    {
+        while (step()) {
+        }
+    }
+
+    std::uint64_t executedEvents() const { return executed; }
+
+  private:
+    struct Entry
+    {
+        sim::Tick when;
+        std::uint64_t seq;
+        TimerId timer;
+        EventFn fn;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
+        events;
+    std::unordered_set<TimerId> liveTimers;
+    std::unordered_set<TimerId> cancelledTimers;
+    sim::Tick nowTick = 0;
+    std::uint64_t seq = 0;
+    TimerId nextTimer = 1;
+    std::uint64_t executed = 0;
+};
+
+} // namespace legacy
+
+namespace {
+
+constexpr int kEvents = 4096;
+
+/** Capture the size of a typical delivery event: this + a slab index
+ *  plus a little payload state — fits the 48-byte inline buffer. */
+struct Payload
+{
+    std::uint64_t a, b, c;
+    std::uint32_t idx;
+};
+
+template <typename Queue>
+void
+scheduleRunWorkload(Queue &eq, std::uint64_t &sink)
+{
+    Payload p{1, 2, 3, 4};
+    for (int i = 0; i < kEvents; ++i) {
+        p.idx = static_cast<std::uint32_t>(i);
+        // Spread-out deadlines keep the heap realistically mixed.
+        eq.schedule(static_cast<sim::Tick>(i * 7 % 911),
+                    [p, &sink] { sink += p.a + p.idx; });
+    }
+    eq.run();
+}
+
+template <typename Queue>
+void
+timerChurnWorkload(Queue &eq, std::uint64_t &sink)
+{
+    std::vector<std::uint64_t> ids; // both kernels' TimerId is uint64
+    ids.reserve(kEvents);
+    for (int i = 0; i < kEvents; ++i) {
+        ids.push_back(eq.scheduleTimer(
+            static_cast<sim::Tick>(1000 + i * 13 % 977),
+            [&sink] { ++sink; }));
+    }
+    // Cancel every other timer — the retransmit-timer pattern: most
+    // timers are cancelled by an ack before they fire.
+    for (int i = 0; i < kEvents; i += 2)
+        eq.cancelTimer(ids[i]);
+    eq.run();
+}
+
+void
+BM_Legacy_ScheduleRun(benchmark::State &state)
+{
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        legacy::EventQueue eq;
+        scheduleRunWorkload(eq, sink);
+        benchmark::DoNotOptimize(eq.executedEvents());
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * kEvents);
+}
+BENCHMARK(BM_Legacy_ScheduleRun);
+
+void
+BM_Current_ScheduleRun(benchmark::State &state)
+{
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        scheduleRunWorkload(eq, sink);
+        benchmark::DoNotOptimize(eq.executedEvents());
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * kEvents);
+}
+BENCHMARK(BM_Current_ScheduleRun);
+
+void
+BM_Legacy_TimerChurn(benchmark::State &state)
+{
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        legacy::EventQueue eq;
+        timerChurnWorkload(eq, sink);
+        benchmark::DoNotOptimize(eq.executedEvents());
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * kEvents);
+}
+BENCHMARK(BM_Legacy_TimerChurn);
+
+void
+BM_Current_TimerChurn(benchmark::State &state)
+{
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        timerChurnWorkload(eq, sink);
+        benchmark::DoNotOptimize(eq.executedEvents());
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * kEvents);
+}
+BENCHMARK(BM_Current_TimerChurn);
+
+/** End-to-end simulator throughput: simulated events per host second
+ *  for a small paper-configuration cluster run. */
+void
+BM_Current_ClusterEventsPerSec(benchmark::State &state)
+{
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        cluster::ClusterConfig cfg;
+        cfg.model = {core::Consistency::Causal,
+                     core::Persistency::Synchronous};
+        cfg.numServers = 5;
+        cfg.clientsPerServer = 20;
+        cfg.keyCount = 10000;
+        cfg.workload = workload::WorkloadSpec::ycsbA(cfg.keyCount);
+        cfg.warmup = 100 * sim::kMicrosecond;
+        cfg.measure = 400 * sim::kMicrosecond;
+        cfg.seed = 42;
+        cluster::Cluster c(cfg);
+        cluster::RunResult r = c.run();
+        events += r.eventsExecuted;
+        benchmark::DoNotOptimize(r.throughput);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_Current_ClusterEventsPerSec)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

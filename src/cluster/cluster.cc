@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 namespace ddp::cluster {
 
@@ -475,6 +476,7 @@ Cluster::run()
 {
     assert(!ran && "a Cluster can only run once");
     ran = true;
+    auto wall_start = std::chrono::steady_clock::now();
 
     for (auto &c : clients) {
         Client *cp = c.get();
@@ -505,10 +507,23 @@ Cluster::run()
     res.meanReadNs = readLat.mean() / sim::kNanosecond;
     res.meanWriteNs = writeLat.mean() / sim::kNanosecond;
     res.meanNs = allLat.mean() / sim::kNanosecond;
+    res.p50ReadNs =
+        static_cast<double>(readLat.p50()) / sim::kNanosecond;
     res.p95ReadNs =
         static_cast<double>(readLat.p95()) / sim::kNanosecond;
+    res.p99ReadNs =
+        static_cast<double>(readLat.p99()) / sim::kNanosecond;
+    res.p50WriteNs =
+        static_cast<double>(writeLat.p50()) / sim::kNanosecond;
     res.p95WriteNs =
         static_cast<double>(writeLat.p95()) / sim::kNanosecond;
+    res.p99WriteNs =
+        static_cast<double>(writeLat.p99()) / sim::kNanosecond;
+    res.eventsExecuted = eq.executedEvents();
+    res.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
 
     res.counters = ctr.diff(ctr_snap);
     res.messages = net->totalMessages() - msg_snap;

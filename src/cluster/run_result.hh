@@ -25,8 +25,12 @@ struct RunResult
     double meanReadNs = 0.0;
     double meanWriteNs = 0.0;
     double meanNs = 0.0;
+    double p50ReadNs = 0.0;
     double p95ReadNs = 0.0;
+    double p99ReadNs = 0.0;
+    double p50WriteNs = 0.0;
     double p95WriteNs = 0.0;
+    double p99WriteNs = 0.0;
 
     std::uint64_t reads = 0;
     std::uint64_t writes = 0;
@@ -115,6 +119,22 @@ struct RunResult
     std::uint64_t recoveryQuorumFailures = 0;
     /** Nodes some recovery declared unreachable (sorted, deduped). */
     std::vector<net::NodeId> unreachableNodes;
+
+    // --- Simulator throughput (whole run, host-side) -----------------------
+    /** Simulated events the run's EventQueue executed, start to end. */
+    std::uint64_t eventsExecuted = 0;
+    /** Host wall-clock seconds Cluster::run() took. Nondeterministic —
+     *  never fold into simulated metrics or reproducibility checks. */
+    double wallSeconds = 0.0;
+
+    /** Simulator throughput: simulated events per host second. */
+    double
+    eventsPerSec() const
+    {
+        return wallSeconds <= 0.0
+                   ? 0.0
+                   : static_cast<double>(eventsExecuted) / wallSeconds;
+    }
 
     /** All raw counters diffed over the measurement window. */
     std::map<std::string, std::uint64_t> counters;

@@ -74,8 +74,31 @@ Fabric::unackedMessages() const
     return total;
 }
 
+std::uint32_t
+Fabric::park(Message &&msg)
+{
+    std::uint32_t idx;
+    if (!parkedFree.empty()) {
+        idx = parkedFree.back();
+        parkedFree.pop_back();
+        parked[idx] = std::move(msg);
+    } else {
+        idx = static_cast<std::uint32_t>(parked.size());
+        parked.push_back(std::move(msg));
+    }
+    return idx;
+}
+
+Message
+Fabric::unpark(std::uint32_t idx)
+{
+    Message m = std::move(parked[idx]);
+    parkedFree.push_back(idx);
+    return m;
+}
+
 void
-Fabric::send(const Message &msg)
+Fabric::send(Message msg)
 {
     assert(msg.src < nics.size() && msg.dst < nics.size());
     ++msgCount;
@@ -83,30 +106,34 @@ Fabric::send(const Message &msg)
 
     if (msg.src == msg.dst) {
         // Local loopback: deliver without touching the fabric.
-        queue.scheduleIn(0, [this, msg] {
+        queue.scheduleIn(0, [this, idx = park(std::move(msg))] {
+            Message m = unpark(idx);
             if (tracer)
-                tracer->record(queue.now(), msg);
-            handlers[msg.dst](msg);
+                tracer->record(queue.now(), m);
+            handlers[m.dst](m);
         });
         return;
     }
 
     if (cfg.reliability.enabled) {
         QpState &q = qp(msg.src, msg.dst);
-        Message seqd = msg;
-        seqd.netSeq = q.nextSendSeq++;
-        q.inFlight.emplace(seqd.netSeq,
-                           QpState::Pending{seqd, sim::kNoTimer, 0});
-        armRetransmit(seqd.src, seqd.dst, seqd.netSeq);
-        transmitRaw(seqd);
+        msg.netSeq = q.nextSendSeq++;
+        auto [it, inserted] = q.inFlight.emplace(
+            msg.netSeq,
+            QpState::Pending{std::move(msg), sim::kNoTimer, 0});
+        assert(inserted);
+        const Message &pending = it->second.msg;
+        armRetransmit(pending.src, pending.dst, pending.netSeq);
+        transmitRaw(pending); // copy: the original is retained for
+                              // retransmission until acknowledged
         return;
     }
 
-    transmitRaw(msg);
+    transmitRaw(std::move(msg));
 }
 
 void
-Fabric::transmitRaw(const Message &msg)
+Fabric::transmitRaw(Message msg)
 {
     if (faults) {
         if (faults->linkCut(queue.now(), msg.src, msg.dst)) {
@@ -122,16 +149,16 @@ Fabric::transmitRaw(const Message &msg)
             ++dropCount;
             return;
         }
-        for (std::uint32_t c = 0; c <= d.duplicates; ++c)
+        for (std::uint32_t c = 0; c < d.duplicates; ++c)
             transmitOnce(msg, d.extraDelay, d.reorder);
+        transmitOnce(std::move(msg), d.extraDelay, d.reorder);
         return;
     }
-    transmitOnce(msg, 0, false);
+    transmitOnce(std::move(msg), 0, false);
 }
 
 void
-Fabric::transmitOnce(const Message &msg, sim::Tick extra_delay,
-                     bool reorder)
+Fabric::transmitOnce(Message msg, sim::Tick extra_delay, bool reorder)
 {
     Nic &src = *nics[msg.src];
     Nic &dst = *nics[msg.dst];
@@ -152,7 +179,9 @@ Fabric::transmitOnce(const Message &msg, sim::Tick extra_delay,
         reorder ? arrival : src.orderDelivery(msg.dst, arrival);
     sim::Tick rx_done = dst.receive(ordered, msg);
 
-    queue.schedule(rx_done, [this, msg] { deliverArrival(msg); });
+    queue.schedule(rx_done, [this, idx = park(std::move(msg))] {
+        deliverArrival(unpark(idx));
+    });
 }
 
 void

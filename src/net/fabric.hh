@@ -212,9 +212,13 @@ class Fabric
 
     /**
      * Send @p msg from its src to its dst. Self-sends are delivered
-     * immediately (no network traversal).
+     * immediately (no network traversal). Takes the message by value:
+     * callers with a throwaway copy should std::move() it in, and the
+     * payload (cauhist etc.) is then *moved* hop to hop — parked in a
+     * slab while in flight instead of being copied into each event
+     * closure.
      */
-    void send(const Message &msg);
+    void send(Message msg);
 
     /** Send @p msg to every node except @p msg.src (broadcast). */
     void broadcast(Message msg);
@@ -281,10 +285,18 @@ class Fabric
     QpState &qp(NodeId src, NodeId dst);
 
     /** Fault-check @p msg and put surviving copies on the wire. */
-    void transmitRaw(const Message &msg);
+    void transmitRaw(Message msg);
     /** Timing path of one physical copy. */
-    void transmitOnce(const Message &msg, sim::Tick extra_delay,
-                      bool reorder);
+    void transmitOnce(Message msg, sim::Tick extra_delay, bool reorder);
+
+    /**
+     * Park an in-flight message until its delivery event fires. The
+     * event closure then carries only a 4-byte slab index (so it stays
+     * inside the event queue's inline-callback buffer) and the Message
+     * itself is moved exactly once in and once out.
+     */
+    std::uint32_t park(Message &&msg);
+    Message unpark(std::uint32_t idx);
     /** Runs at RX completion: reliable-layer filtering + handler. */
     void deliverArrival(const Message &msg);
     void handleNetAck(const Message &ack);
@@ -301,6 +313,9 @@ class Fabric
     FaultPlan *faults = nullptr;
     /** Directed queue pairs, row = src (only used when reliable). */
     std::vector<QpState> qps;
+    /** In-flight message slab (see park()/unpark()). */
+    std::vector<Message> parked;
+    std::vector<std::uint32_t> parkedFree;
     std::uint64_t msgCount = 0;
     std::uint64_t byteCount = 0;
     std::uint64_t dropCount = 0;

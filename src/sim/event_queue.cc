@@ -1,50 +1,98 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace ddp::sim {
 
 void
+EventQueue::pushEvent(Tick when, TimerId timer, EventFn fn)
+{
+    std::uint32_t slot;
+    if (!freeEventSlots.empty()) {
+        slot = freeEventSlots.back();
+        freeEventSlots.pop_back();
+        eventSlots[slot].timer = timer;
+        eventSlots[slot].fn = std::move(fn);
+    } else {
+        slot = static_cast<std::uint32_t>(eventSlots.size());
+        eventSlots.push_back(EventSlot{timer, std::move(fn)});
+    }
+    events.push_back(HeapItem{when, nextSeq++, slot});
+    std::push_heap(events.begin(), events.end(), entryAfter);
+}
+
+EventQueue::HeapItem
+EventQueue::popItem()
+{
+    std::pop_heap(events.begin(), events.end(), entryAfter);
+    HeapItem item = events.back();
+    events.pop_back();
+    return item;
+}
+
+void
 EventQueue::schedule(Tick when, EventFn fn)
 {
     assert(when >= _now && "cannot schedule an event in the past");
-    events.push(Entry{when, nextSeq++, std::move(fn), kNoTimer});
+    pushEvent(when, kNoTimer, std::move(fn));
 }
 
 TimerId
 EventQueue::scheduleTimer(Tick when, EventFn fn)
 {
     assert(when >= _now && "cannot schedule a timer in the past");
-    TimerId id = nextTimerId++;
-    liveTimers.insert(id);
-    events.push(Entry{when, nextSeq++, std::move(fn), id});
+    std::uint32_t slot;
+    if (!freeTimerSlots.empty()) {
+        slot = freeTimerSlots.back();
+        freeTimerSlots.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(timerSlots.size());
+        timerSlots.emplace_back();
+    }
+    timerSlots[slot].live = true;
+    TimerId id = (static_cast<TimerId>(timerSlots[slot].gen) << 32) |
+                 (slot + 1);
+    pushEvent(when, id, std::move(fn));
     return id;
 }
 
 bool
 EventQueue::cancelTimer(TimerId id)
 {
-    if (id == kNoTimer || liveTimers.erase(id) == 0)
+    if (!timerPending(id))
         return false;
-    cancelledTimers.insert(id);
+    timerSlots[slotOf(id)].live = false;
     ++cancelledPending;
     return true;
 }
 
 void
+EventQueue::retireTimer(TimerId id)
+{
+    std::uint32_t slot = slotOf(id);
+    assert(slot < timerSlots.size() && timerSlots[slot].gen == genOf(id));
+    ++timerSlots[slot].gen;
+    timerSlots[slot].live = false;
+    freeTimerSlots.push_back(slot);
+}
+
+void
 EventQueue::purgeCancelled()
 {
+    if (cancelledPending == 0)
+        return;
     while (!events.empty()) {
-        const Entry &top = events.top();
-        if (top.timer == kNoTimer ||
-            cancelledTimers.count(top.timer) == 0) {
+        TimerId timer = eventSlots[events.front().slot].timer;
+        if (timer == kNoTimer || timerPending(timer))
             return;
-        }
-        cancelledTimers.erase(top.timer);
+        HeapItem item = popItem();
+        eventSlots[item.slot].fn = EventFn(); // drop the callback
+        freeEventSlots.push_back(item.slot);
+        retireTimer(timer);
         assert(cancelledPending > 0);
         --cancelledPending;
-        events.pop();
     }
 }
 
@@ -55,17 +103,18 @@ EventQueue::step()
     if (events.empty())
         return false;
 
-    // priority_queue::top() returns a const ref; the callback must be
-    // moved out before pop() so it can safely reschedule further events.
-    Entry entry = std::move(const_cast<Entry &>(events.top()));
-    events.pop();
-
-    assert(entry.when >= _now);
-    _now = entry.when;
+    HeapItem item = popItem();
+    assert(item.when >= _now);
+    _now = item.when;
     ++executed;
-    if (entry.timer != kNoTimer)
-        liveTimers.erase(entry.timer);
-    entry.fn();
+    // Move the callback out before running it: fn may push new events
+    // that recycle this very slot.
+    TimerId timer = eventSlots[item.slot].timer;
+    EventFn fn = std::move(eventSlots[item.slot].fn);
+    freeEventSlots.push_back(item.slot);
+    if (timer != kNoTimer)
+        retireTimer(timer);
+    fn();
     return true;
 }
 
@@ -81,7 +130,7 @@ EventQueue::runUntil(Tick limit)
 {
     for (;;) {
         purgeCancelled();
-        if (events.empty() || events.top().when > limit)
+        if (events.empty() || events.front().when > limit)
             break;
         step();
     }
@@ -92,10 +141,11 @@ EventQueue::runUntil(Tick limit)
 void
 EventQueue::clear()
 {
-    while (!events.empty())
-        events.pop();
-    liveTimers.clear();
-    cancelledTimers.clear();
+    events.clear();
+    eventSlots.clear();
+    freeEventSlots.clear();
+    timerSlots.clear();
+    freeTimerSlots.clear();
     cancelledPending = 0;
 }
 

@@ -7,25 +7,40 @@
  * scheduled (FIFO tie-break via a monotonically increasing sequence
  * number), which makes entire cluster simulations bit-reproducible for a
  * given RNG seed.
+ *
+ * Hot-path design notes:
+ *  - callbacks are InlineFn, so typical closures (this + a few scalars)
+ *    live inside the event slab instead of costing a malloc per event;
+ *  - the priority queue is indirect: callbacks are parked in a
+ *    free-listed slab and the explicitly-owned binary heap
+ *    (std::vector + std::push_heap/std::pop_heap) sifts only trivially
+ *    copyable 24-byte (when, seq, slot) keys — no callback moves during
+ *    sifting, and entries can be *moved* out of the top legally
+ *    (std::priority_queue::top() only exposes a const ref);
+ *  - cancellable timers use generation-tagged slots — cancel, fire and
+ *    pending-checks are O(1) array lookups, with no per-event hash-set
+ *    traffic.
  */
 
 #ifndef DDP_SIM_EVENT_QUEUE_HH
 #define DDP_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inline_fn.hh"
 #include "sim/ticks.hh"
 
 namespace ddp::sim {
 
 /** Callback type executed when an event fires. */
-using EventFn = std::function<void()>;
+using EventFn = InlineFn;
 
-/** Handle of a cancellable timer; 0 is "no timer". */
+/**
+ * Handle of a cancellable timer; 0 is "no timer". Packs a slot index
+ * (low 32 bits, biased by 1) and that slot's generation (high 32 bits),
+ * so stale handles from fired or cancelled timers are rejected in O(1).
+ */
 using TimerId = std::uint64_t;
 
 /** The null TimerId. */
@@ -97,7 +112,11 @@ class EventQueue
     bool
     timerPending(TimerId id) const
     {
-        return id != kNoTimer && liveTimers.count(id) != 0;
+        if (id == kNoTimer)
+            return false;
+        std::uint32_t slot = slotOf(id);
+        return slot < timerSlots.size() &&
+               timerSlots[slot].gen == genOf(id) && timerSlots[slot].live;
     }
 
     /**
@@ -120,40 +139,72 @@ class EventQueue
     void clear();
 
   private:
-    struct Entry
+    /** Heap key: trivially copyable, so sifting never touches the
+     *  callback slab. @c slot indexes eventSlots. */
+    struct HeapItem
     {
         Tick when;
         std::uint64_t seq;
-        EventFn fn;
-        TimerId timer = kNoTimer;
+        std::uint32_t slot;
     };
 
+    /** Slab cell holding one pending event's payload. */
+    struct EventSlot
+    {
+        TimerId timer = kNoTimer;
+        EventFn fn;
+    };
+
+    /**
+     * One cancellable timer's bookkeeping. The slot is allocated when
+     * the timer is scheduled and retired (generation bumped, index
+     * recycled) when its heap entry surfaces — whether it fires or was
+     * cancelled in the meantime.
+     */
+    struct TimerSlot
+    {
+        std::uint32_t gen = 0;
+        bool live = false;
+    };
+
+    /** Earliest (when, seq) on top; min-heap via inverted comparison. */
+    static bool
+    entryAfter(const HeapItem &a, const HeapItem &b)
+    {
+        if (a.when != b.when)
+            return a.when > b.when;
+        return a.seq > b.seq;
+    }
+
+    static std::uint32_t
+    slotOf(TimerId id)
+    {
+        return static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+    }
+
+    static std::uint32_t
+    genOf(TimerId id)
+    {
+        return static_cast<std::uint32_t>(id >> 32);
+    }
+
+    void pushEvent(Tick when, TimerId timer, EventFn fn);
+    HeapItem popItem();
+    /** Bump the slot's generation and recycle its index. */
+    void retireTimer(TimerId id);
     /** Pop cancelled timer entries off the front of the heap. */
     void purgeCancelled();
 
-    struct EntryCompare
-    {
-        /** std::priority_queue is a max-heap; invert for earliest-first. */
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
-
-    std::priority_queue<Entry, std::vector<Entry>, EntryCompare> events;
+    std::vector<HeapItem> events;
+    std::vector<EventSlot> eventSlots;
+    std::vector<std::uint32_t> freeEventSlots;
     Tick _now = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t executed = 0;
 
-    /** Timers scheduled but not yet fired or cancelled. */
-    std::unordered_set<TimerId> liveTimers;
-    /** Cancelled timers whose heap entries have not surfaced yet. */
-    std::unordered_set<TimerId> cancelledTimers;
+    std::vector<TimerSlot> timerSlots;
+    std::vector<std::uint32_t> freeTimerSlots;
     std::size_t cancelledPending = 0;
-    TimerId nextTimerId = 1;
 };
 
 } // namespace ddp::sim

@@ -1,0 +1,69 @@
+#include "sim/thread_pool.hh"
+
+#include <utility>
+
+namespace ddp::sim {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    wakeWorker.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        jobs.push_back(std::move(job));
+    }
+    wakeWorker.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    idle.wait(lock, [this] { return jobs.empty() && running == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            wakeWorker.wait(
+                lock, [this] { return stopping || !jobs.empty(); });
+            if (jobs.empty()) // stopping, queue drained
+                return;
+            job = std::move(jobs.front());
+            jobs.pop_front();
+            ++running;
+        }
+        job();
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            --running;
+            if (jobs.empty() && running == 0)
+                idle.notify_all();
+        }
+    }
+}
+
+} // namespace ddp::sim

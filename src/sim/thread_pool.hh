@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fixed-size worker thread pool for fanning independent simulations
+ * across cores.
+ *
+ * The simulator itself is strictly single-threaded (one EventQueue per
+ * Cluster, no mutable globals); the pool exists so that *sweeps* —
+ * many fully independent deterministic runs — can use the whole
+ * machine. Jobs are plain std::function<void()> values executed in FIFO
+ * submission order by whichever worker frees up first; any exception a
+ * job lets escape is caught and stashed so the submitting thread can
+ * observe it (see SweepRunner).
+ */
+
+#ifndef DDP_SIM_THREAD_POOL_HH
+#define DDP_SIM_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ddp::sim {
+
+/** Fixed pool of worker threads draining a FIFO job queue. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (at least 1). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains outstanding jobs, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a job; workers pick jobs up in submission order. */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished executing. */
+    void wait();
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers.size());
+    }
+
+    /** Hardware concurrency with a sane floor of 1. */
+    static unsigned
+    hardwareThreads()
+    {
+        unsigned n = std::thread::hardware_concurrency();
+        return n == 0 ? 1 : n;
+    }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> jobs;
+    std::mutex mtx;
+    std::condition_variable wakeWorker;
+    std::condition_variable idle;
+    std::size_t running = 0;
+    bool stopping = false;
+};
+
+} // namespace ddp::sim
+
+#endif // DDP_SIM_THREAD_POOL_HH

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/sweep_runner.hh" // splitmix64
 
 using namespace ddp::sim;
 
@@ -241,4 +242,74 @@ TEST(Ticks, UnitConversions)
     EXPECT_DOUBLE_EQ(ticksToSeconds(kSecond), 1.0);
     // A 2 GHz core cycle is 500 ps.
     EXPECT_EQ(cyclePeriod(2'000'000'000ull), 500u);
+}
+
+TEST(Timers, StaleHandleAfterSlotReuseIsRejected)
+{
+    EventQueue eq;
+    int fired = 0;
+    TimerId a = eq.scheduleTimer(10, [&] { ++fired; });
+    eq.run(); // a fires; its slot is recycled with a bumped generation
+    TimerId b = eq.scheduleTimer(20, [&] { ++fired; });
+    EXPECT_NE(a, b);
+    EXPECT_FALSE(eq.timerPending(a));
+    EXPECT_FALSE(eq.cancelTimer(a)); // must not hit b's slot
+    EXPECT_TRUE(eq.timerPending(b));
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+namespace {
+
+/** Self-driving churn: every tick schedules fresh timers and cancels a
+ *  random pending one, exercising slot reuse and generation tags under
+ *  thousands of cancel/reschedule cycles. */
+struct TimerChurn
+{
+    explicit TimerChurn(EventQueue &q) : eq(q) {}
+
+    void
+    step()
+    {
+        if (++rounds > kRounds)
+            return;
+        for (int k = 0; k < 2; ++k) {
+            ++scheduled;
+            live.push_back(eq.scheduleTimerIn(
+                1 + state() % 50, [this] { ++fired; }));
+        }
+        if (!live.empty() && state() % 2 == 0) {
+            std::size_t j = state() % live.size();
+            if (eq.cancelTimer(live[j]))
+                ++cancelledOk;
+            live.erase(live.begin() + j);
+        }
+        eq.scheduleIn(1, [this] { step(); });
+    }
+
+    /** Deterministic splitmix-driven choice stream. */
+    std::uint64_t state() { return rngState = splitmix64(rngState); }
+
+    static constexpr int kRounds = 3000;
+    EventQueue &eq;
+    std::vector<TimerId> live;
+    std::uint64_t rngState = 0x1234;
+    std::uint64_t scheduled = 0, cancelledOk = 0, fired = 0;
+    int rounds = 0;
+};
+
+} // namespace
+
+TEST(Timers, CancelRescheduleStress)
+{
+    EventQueue eq;
+    TimerChurn churn(eq);
+    eq.scheduleIn(0, [&churn] { churn.step(); });
+    eq.run();
+    EXPECT_EQ(churn.scheduled, 2u * TimerChurn::kRounds);
+    // Every scheduled timer either fired or was successfully cancelled
+    // while still pending — never both, never neither.
+    EXPECT_EQ(churn.fired + churn.cancelledOk, churn.scheduled);
+    EXPECT_GT(churn.cancelledOk, 0u);
+    EXPECT_EQ(eq.pendingEvents(), 0u);
 }

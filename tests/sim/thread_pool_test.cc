@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the sweep thread pool and the deterministic sweep
+ * runner: shutdown semantics, exception propagation, result ordering,
+ * and per-item seed derivation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/sweep_runner.hh"
+#include "sim/thread_pool.hh"
+
+using namespace ddp::sim;
+
+TEST(ThreadPool, RunsAllSubmittedJobs)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 1000; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, DestructorDrainsRemainingJobs)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 200; ++i)
+            pool.submit([&count] { ++count; });
+        // No wait(): shutdown must still run every queued job.
+    }
+    EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&count] { ++count; });
+        pool.wait();
+        EXPECT_EQ(count.load(), 50 * (round + 1));
+    }
+}
+
+TEST(ThreadPool, FloorsAtOneThread)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 1u);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+TEST(SweepRunner, MapReturnsResultsInIndexOrder)
+{
+    SweepRunner runner(4);
+    std::vector<std::uint64_t> results =
+        runner.map(100, [](std::size_t i) {
+            // Uneven work so completion order differs from index order.
+            std::uint64_t acc = i;
+            for (std::size_t k = 0; k < (i % 7) * 1000; ++k)
+                acc = splitmix64(acc);
+            return i * i + (acc & 0);
+        });
+    ASSERT_EQ(results.size(), 100u);
+    for (std::size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(results[i], i * i);
+}
+
+TEST(SweepRunner, SerialAndParallelAgree)
+{
+    auto work = [](std::size_t i) {
+        std::uint64_t acc = sweepSeed(42, i);
+        for (int k = 0; k < 100; ++k)
+            acc = splitmix64(acc);
+        return acc;
+    };
+    std::vector<std::uint64_t> serial = SweepRunner(1).map(32, work);
+    std::vector<std::uint64_t> parallel = SweepRunner(8).map(32, work);
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(SweepRunner, FirstExceptionByIndexPropagates)
+{
+    SweepRunner runner(4);
+    try {
+        runner.map(16, [](std::size_t i) {
+            if (i == 11 || i == 3)
+                throw std::runtime_error("item " + std::to_string(i));
+            return i;
+        });
+        FAIL() << "map() should have thrown";
+    } catch (const std::runtime_error &e) {
+        // Serial semantics: the lowest-index failure surfaces, no
+        // matter which worker finished first.
+        EXPECT_STREQ(e.what(), "item 3");
+    }
+}
+
+TEST(SweepRunner, SingleItemRunsInlineOnCallingThread)
+{
+    SweepRunner runner(8);
+    std::thread::id caller = std::this_thread::get_id();
+    std::vector<std::thread::id> ids =
+        runner.map(1, [](std::size_t) {
+            return std::this_thread::get_id();
+        });
+    ASSERT_EQ(ids.size(), 1u);
+    EXPECT_EQ(ids[0], caller);
+}
+
+TEST(SweepRunner, JobsZeroResolvesToHardwareThreads)
+{
+    EXPECT_EQ(SweepRunner(0).jobs(), ThreadPool::hardwareThreads());
+    EXPECT_EQ(SweepRunner(3).jobs(), 3u);
+}
+
+TEST(SweepSeed, SplitmixMatchesReferenceVector)
+{
+    // First output of the reference SplitMix64 stream seeded with 0.
+    EXPECT_EQ(splitmix64(0), 0xE220A8397B1DCDAFULL);
+}
+
+TEST(SweepSeed, StableAndDistinctPerItem)
+{
+    EXPECT_EQ(sweepSeed(42, 7), sweepSeed(42, 7));
+    EXPECT_NE(sweepSeed(42, 0), sweepSeed(42, 1));
+    EXPECT_NE(sweepSeed(42, 0), sweepSeed(43, 0));
+    // The base seed itself must not leak through as some item's seed.
+    for (std::uint64_t i = 0; i < 64; ++i)
+        EXPECT_NE(sweepSeed(42, i), 42u);
+}

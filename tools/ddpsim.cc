@@ -7,7 +7,12 @@
  *
  *   ddpsim --consistency causal --persistency synchronous
  *   ddpsim --all-models --format csv > results.csv
+ *   ddpsim --all-models --jobs 8 --format json > results.json
  *   ddpsim --workload w --servers 3 --rtt-ns 500 --crash-at-us 2000
+ *
+ * Sweeps (--all-models, --torture) fan their independent runs across
+ * --jobs worker threads; stdout is byte-identical for any job count
+ * (see DESIGN.md, "Parallel sweeps stay deterministic").
  *
  * Run `ddpsim --help` for the full flag list.
  */
@@ -15,6 +20,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
@@ -25,8 +31,10 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hh"
 #include "cluster/cluster.hh"
 #include "sim/random.hh"
+#include "sim/sweep_runner.hh"
 #include "stats/table.hh"
 
 using namespace ddp;
@@ -52,7 +60,11 @@ struct Options
     std::uint64_t seed = 42;
     std::optional<std::uint64_t> crashAtUs;
     std::string traceFile;
-    bool csv = false;
+    enum class Format { Table, Csv, Json };
+    Format format = Format::Table;
+    /** Sweep worker threads; 0 = one per hardware thread. Sweeps are
+     *  byte-identical on stdout for any value (DESIGN.md). */
+    unsigned jobs = 1;
 
     // Fault injection (tentpole: chaos experiments from the CLI).
     double dropRate = 0.0;
@@ -163,7 +175,11 @@ usage(std::ostream &os)
           "  --fault-seed N      chaos RNG seed (default: derive\n"
           "                      from --seed)\n\n"
           "output:\n"
-          "  --format F          table | csv (default table)\n"
+          "  --format F          table | csv | json (default table)\n"
+          "  --jobs N            worker threads for --all-models /\n"
+          "                      --torture sweeps; 0 = one per hardware\n"
+          "                      thread (default 1). Output is\n"
+          "                      byte-identical for any job count.\n"
           "  --help              this text\n";
 }
 
@@ -466,17 +482,36 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.traceFile = val;
         } else if (flag == "--format") {
             if (val == "csv") {
-                opt.csv = true;
-            } else if (val != "table") {
+                opt.format = Options::Format::Csv;
+            } else if (val == "json") {
+                opt.format = Options::Format::Json;
+            } else if (val == "table") {
+                opt.format = Options::Format::Table;
+            } else {
                 std::cerr << "unknown format '" << val << "'\n";
                 return false;
             }
+        } else if (flag == "--jobs") {
+            std::uint32_t jobs;
+            if (!parseU32(val, jobs))
+                return bad("unsigned integer (0 = auto)");
+            opt.jobs = jobs == 0 ? sim::ThreadPool::hardwareThreads()
+                                 : jobs;
         } else {
             std::cerr << "unknown flag '" << flag << "' (see --help)\n";
             return false;
         }
     }
 
+    for (auto [node, from_us] : opt.isolate) {
+        (void)from_us;
+        if (node >= opt.servers) {
+            std::cerr << "--isolate node " << node
+                      << " out of range (servers: " << opt.servers
+                      << ")\n";
+            return false;
+        }
+    }
     if (opt.crashNodes) {
         if (opt.crashNodes->size() >= opt.servers) {
             std::cerr << "--crash-nodes must leave at least one "
@@ -569,11 +604,8 @@ makeConfig(const Options &opt, core::DdpModel model)
     }
     cfg.faults.allLinks.reorderRate = opt.reorderRate;
     for (auto [node, from_us] : opt.isolate) {
-        if (node >= opt.servers) {
-            std::cerr << "error: --isolate node " << node
-                      << " out of range\n";
-            std::exit(1);
-        }
+        // node range validated in parseArgs — makeConfig runs on sweep
+        // worker threads and must never exit the process.
         cfg.faults.outages.push_back(
             net::NodeOutage{node, from_us * sim::kMicrosecond,
                             sim::kTickNever});
@@ -648,7 +680,26 @@ runExperiment(const Options &opt, core::DdpModel model,
 void
 printRows(const Options &opt, const std::vector<Row> &rows)
 {
-    if (opt.csv) {
+    if (opt.format == Options::Format::Json) {
+        bench::JsonArrayWriter w(std::cout);
+        for (const Row &r : rows) {
+            w.beginRecord();
+            w.field("schema", "ddp-bench-v1");
+            w.field("bench", "ddpsim");
+            bench::jsonPerfFields(w, r.model, opt.seed, r.result);
+            w.field("lost_acked_keys", r.lost);
+            w.field("lost_acked_writes", r.result.lostAckedWrites);
+            w.field("xact_aborts", r.result.xactAborted);
+            w.field("net_dropped", r.result.netDropped);
+            w.field("net_retransmits", r.result.netRetransmits);
+            w.field("net_give_ups", r.result.netGiveUps);
+            w.endRecord();
+        }
+        w.finish();
+        return;
+    }
+
+    if (opt.format == Options::Format::Csv) {
         std::cout << "consistency,persistency,throughput_mreqs,"
                      "mean_read_ns,mean_write_ns,p95_read_ns,"
                      "p95_write_ns,messages,persists,xact_aborts,"
@@ -793,12 +844,26 @@ runTorture(const Options &opt, const workload::Trace *trace)
     std::uint64_t restart_us =
         opt.restartAfterUs > 0 ? opt.restartAfterUs : 200;
 
-    std::vector<TortureRow> rows;
-    std::uint64_t violations = 0;
-    for (const core::DdpModel &model : models) {
-        std::cerr << "torturing " << core::modelName(model) << " ("
-                  << points_us.size() << " crash points)...\n";
-        for (std::uint64_t at_us : points_us) {
+    // One sweep item per (model, crash point), flattened so a parallel
+    // runner keeps all cores busy even for a single model. Items are
+    // fully independent; results come back in index order, so output
+    // is byte-identical to the old serial double loop.
+    auto sweep_t0 = std::chrono::steady_clock::now();
+    sim::SweepRunner runner(opt.jobs);
+    std::size_t points = points_us.size();
+    if (runner.jobs() > 1) {
+        std::cerr << "torturing " << models.size() << " model(s) x "
+                  << points << " crash points (" << runner.jobs()
+                  << " jobs)...\n";
+    }
+    std::vector<TortureRow> rows = runner.map(
+        models.size() * points, [&](std::size_t i) {
+            const core::DdpModel &model = models[i / points];
+            std::uint64_t at_us = points_us[i % points];
+            if (runner.jobs() <= 1 && i % points == 0) {
+                std::cerr << "torturing " << core::modelName(model)
+                          << " (" << points << " crash points)...\n";
+            }
             cluster::ClusterConfig cfg = makeConfig(opt, model);
             cfg.trace = trace;
             cluster::Cluster c(cfg);
@@ -824,13 +889,49 @@ runTorture(const Options &opt, const workload::Trace *trace)
                 (opt.commitRecords &&
                  row.result.tornValuesInstalled > 0) ||
                 row.result.convergenceFailures > 0;
-            if (row.violation)
-                ++violations;
-            rows.push_back(std::move(row));
-        }
+            return row;
+        });
+    std::uint64_t violations = 0;
+    std::uint64_t sweep_events = 0;
+    for (const TortureRow &r : rows) {
+        if (r.violation)
+            ++violations;
+        sweep_events += r.result.eventsExecuted;
     }
+    double sweep_wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - sweep_t0)
+                            .count();
+    std::cerr << "torture sweep: " << rows.size() << " runs, "
+              << sweep_events << " events in " << sweep_wall << " s ("
+              << (sweep_wall > 0 ? static_cast<double>(sweep_events) /
+                                       sweep_wall
+                                 : 0.0)
+              << " events/s, " << runner.jobs() << " jobs)\n";
 
-    if (opt.csv) {
+    if (opt.format == Options::Format::Json) {
+        bench::JsonArrayWriter w(std::cout);
+        for (const TortureRow &r : rows) {
+            w.beginRecord();
+            w.field("schema", "ddp-bench-v1");
+            w.field("bench", "ddpsim-torture");
+            bench::jsonPerfFields(w, r.model, opt.seed, r.result);
+            w.field("crash_at_us", r.crashAtUs);
+            w.field("crash_mode", r.staged ? "partial" : "full");
+            w.field("zero_loss_required", r.zeroLoss);
+            w.field("lost_acked_keys", r.result.lostAckedWriteKeys);
+            w.field("lost_acked_writes", r.result.lostAckedWrites);
+            w.field("torn_detected", r.result.tornPersistsDetected);
+            w.field("torn_installed", r.result.tornValuesInstalled);
+            w.field("torn_served", r.result.tornReadsServed);
+            w.field("node_restarts", r.result.nodeRestarts);
+            w.field("convergence_failures",
+                    r.result.convergenceFailures);
+            w.field("client_failovers", r.result.clientFailovers);
+            w.field("violation", r.violation);
+            w.endRecord();
+        }
+        w.finish();
+    } else if (opt.format == Options::Format::Csv) {
         std::cout << "consistency,persistency,crash_at_us,crash_mode,"
                      "zero_loss_required,lost_acked_keys,"
                      "lost_acked_writes,torn_detected,torn_installed,"
@@ -923,7 +1024,9 @@ main(int argc, char **argv)
     if (opt.torturePoints > 0)
         return runTorture(opt, trace_ptr);
 
-    std::vector<Row> rows;
+    // Pre-filter the model list so sweep workers never hit the
+    // replication-mismatch exit path inside runExperiment.
+    std::vector<core::DdpModel> models;
     if (opt.allModels) {
         for (const core::DdpModel &m : core::allModels()) {
             if (opt.replication != 0 &&
@@ -933,11 +1036,40 @@ main(int argc, char **argv)
                           << ": partial replication unsupported\n";
                 continue;
             }
-            std::cerr << "running " << core::modelName(m) << "...\n";
-            rows.push_back(runExperiment(opt, m, trace_ptr));
+            models.push_back(m);
         }
     } else {
-        rows.push_back(runExperiment(opt, opt.model, trace_ptr));
+        models.push_back(opt.model);
+    }
+
+    auto sweep_t0 = std::chrono::steady_clock::now();
+    sim::SweepRunner runner(opt.jobs);
+    if (runner.jobs() > 1 && models.size() > 1) {
+        std::cerr << "running " << models.size() << " models ("
+                  << runner.jobs() << " jobs)...\n";
+    }
+    std::vector<Row> rows =
+        runner.map(models.size(), [&](std::size_t i) {
+            if (runner.jobs() <= 1 && models.size() > 1) {
+                std::cerr << "running " << core::modelName(models[i])
+                          << "...\n";
+            }
+            return runExperiment(opt, models[i], trace_ptr);
+        });
+    if (models.size() > 1) {
+        std::uint64_t events = 0;
+        for (const Row &r : rows)
+            events += r.result.eventsExecuted;
+        double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - sweep_t0)
+                .count();
+        std::cerr << "sweep: " << rows.size() << " runs, " << events
+                  << " events in " << wall << " s ("
+                  << (wall > 0
+                          ? static_cast<double>(events) / wall
+                          : 0.0)
+                  << " events/s, " << runner.jobs() << " jobs)\n";
     }
     printRows(opt, rows);
     return 0;

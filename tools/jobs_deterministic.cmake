@@ -1,0 +1,46 @@
+# Byte-compares ddpsim sweep stdout between --jobs 1 and --jobs 8.
+#
+# Usage:
+#   cmake -DDDPSIM=<path> -DMODE=<sweep|torture> -P jobs_deterministic.cmake
+#
+# Parallel sweeps must be byte-identical to serial execution (DESIGN.md,
+# "Parallel sweeps stay deterministic"): every run owns its EventQueue
+# and RNG streams, and SweepRunner collects results in index order. CSV
+# carries no host-timing fields, so the comparison is exact.
+
+if(NOT DEFINED DDPSIM OR NOT DEFINED MODE)
+    message(FATAL_ERROR "need -DDDPSIM=<path> and -DMODE=<sweep|torture>")
+endif()
+
+set(common_args
+    --servers 2 --clients-per-server 2 --keys 500
+    --warmup-us 50 --measure-us 150 --format csv)
+if(MODE STREQUAL "sweep")
+    set(args --all-models ${common_args})
+elseif(MODE STREQUAL "torture")
+    set(args --all-models --torture 2 ${common_args})
+else()
+    message(FATAL_ERROR "unknown MODE '${MODE}'")
+endif()
+
+foreach(jobs 1 8)
+    execute_process(
+        COMMAND ${DDPSIM} ${args} --jobs ${jobs}
+        OUTPUT_VARIABLE out_${jobs}
+        ERROR_VARIABLE err_${jobs}
+        RESULT_VARIABLE rc_${jobs})
+    if(NOT rc_${jobs} EQUAL 0)
+        message(FATAL_ERROR
+            "ddpsim --jobs ${jobs} failed (rc=${rc_${jobs}}):\n${err_${jobs}}")
+    endif()
+endforeach()
+
+if(NOT out_1 STREQUAL out_8)
+    message(FATAL_ERROR
+        "MODE=${MODE}: --jobs 8 stdout differs from --jobs 1 — parallel "
+        "sweep broke determinism")
+endif()
+
+string(LENGTH "${out_1}" bytes)
+message(STATUS "MODE=${MODE}: --jobs 1 and --jobs 8 stdout identical "
+               "(${bytes} bytes)")
