@@ -29,10 +29,13 @@
 
 #include <cassert>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -212,9 +215,23 @@ class JsonArrayWriter
         sep();
         os << '"' << key << "\": \"";
         for (char c : v) {
-            if (c == '"' || c == '\\')
-                os << '\\';
-            os << c;
+            switch (c) {
+              case '"': os << "\\\""; break;
+              case '\\': os << "\\\\"; break;
+              case '\n': os << "\\n"; break;
+              case '\t': os << "\\t"; break;
+              case '\r': os << "\\r"; break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(c)));
+                    os << buf;
+                } else {
+                    os << c;
+                }
+            }
         }
         os << '"';
     }
@@ -225,7 +242,17 @@ class JsonArrayWriter
     field(const char *key, double v)
     {
         sep();
-        os << '"' << key << "\": " << v;
+        os << '"' << key << "\": ";
+        if (!std::isfinite(v)) {
+            // JSON has no NaN/Inf literals; null keeps the record
+            // parseable and is unambiguous in downstream tooling.
+            os << "null";
+            return;
+        }
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.*g",
+                      std::numeric_limits<double>::max_digits10, v);
+        os << buf;
     }
 
     void
@@ -286,6 +313,15 @@ jsonPerfFields(JsonArrayWriter &w, const core::DdpModel &m,
     w.field("messages", r.messages);
     w.field("persists", r.persistsIssued);
     w.field("events_executed", r.eventsExecuted);
+    // Per-phase latency breakdown (reads + writes pooled). The phase
+    // means sum to the pooled mean latency: per request, phase spans
+    // sum exactly to end-to-end latency (asserted in recordOp).
+    for (std::size_t p = 0; p < sim::kPhaseCount; ++p) {
+        std::string name = sim::phaseName(static_cast<sim::Phase>(p));
+        const cluster::RunResult::PhaseStat &ps = r.phaseBreakdown[p];
+        w.field(("phase_" + name + "_mean_ns").c_str(), ps.meanNs);
+        w.field(("phase_" + name + "_p95_ns").c_str(), ps.p95Ns);
+    }
     // Host-timing fields last and one per line: strip with
     //   grep -vE '"(wall_seconds|events_per_sec)"'
     // before byte-comparing across runs.

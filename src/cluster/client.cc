@@ -205,7 +205,7 @@ Client::sendPlainOp()
             return;
         cancelRequestTimer();
         phase = Phase::Idle;
-        owner.recordOp(r.kind, r.latency());
+        owner.recordOp(r.kind, r.latency(), r.phases);
         ++opsSinceScopePersist;
         issueNext();
     };
@@ -239,7 +239,7 @@ Client::sendScopePersist()
             return;
         cancelRequestTimer();
         phase = Phase::Idle;
-        owner.recordOp(r.kind, r.latency());
+        owner.recordOp(r.kind, r.latency(), r.phases);
         opsSinceScopePersist = 0;
         ++scopeSeq;
         issueNext();
@@ -259,6 +259,7 @@ Client::beginXactBatch()
         xactOps.push_back(nextOp());
     xactFirstIssue.assign(len, 0);
     xactOpDone.assign(len, 0);
+    xactOpPhases.assign(len, sim::PhaseAccum{});
     xactAttempts = 0;
     phase = Phase::Xact;
     startXactAttempt();
@@ -319,6 +320,7 @@ Client::issueXactOp(std::size_t index)
             return;
         }
         xactOpDone[index] = r.completedAt;
+        xactOpPhases[index] = r.phases;
         issueXactOp(index + 1);
     };
     armRequestTimer(token);
@@ -360,13 +362,25 @@ Client::commitRecorded(sim::Tick end_completed)
     // visible at the transaction end (the VP of Transactional
     // consistency), so their latency extends to ENDX completion. Both
     // span every retry of the transaction.
+    // Phase attribution: the last attempt's breakdown is kept; time
+    // spent on earlier (squashed or timed-out) attempts and backoff —
+    // the gap between the batch's first issue and the last attempt's —
+    // is charged to ConflictRetry, and a write's tail from its own
+    // completion to ENDX is charged to XactCommit. The per-op phase
+    // sums then exactly equal the recorded latencies.
     for (std::size_t i = 0; i < xactOps.size(); ++i) {
         if (xactOps[i].type == workload::OpType::Read) {
-            owner.recordOp(OpKind::Read,
-                           xactOpDone[i] - xactFirstIssue[i]);
+            sim::Tick lat = xactOpDone[i] - xactFirstIssue[i];
+            sim::PhaseAccum acc = xactOpPhases[i];
+            acc.add(sim::Phase::ConflictRetry, lat - acc.sum());
+            owner.recordOp(OpKind::Read, lat, acc);
         } else {
-            owner.recordOp(OpKind::Write,
-                           end_completed - xactFirstIssue[i]);
+            sim::Tick lat = end_completed - xactFirstIssue[i];
+            sim::PhaseAccum acc = xactOpPhases[i];
+            acc.add(sim::Phase::XactCommit,
+                    end_completed - xactOpDone[i]);
+            acc.add(sim::Phase::ConflictRetry, lat - acc.sum());
+            owner.recordOp(OpKind::Write, lat, acc);
         }
     }
 }

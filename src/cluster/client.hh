@@ -141,6 +141,8 @@ class Client
     std::vector<workload::Op> xactOps;
     std::vector<sim::Tick> xactFirstIssue;
     std::vector<sim::Tick> xactOpDone;
+    /** Phase breakdown of each op's last (successful) attempt. */
+    std::vector<sim::PhaseAccum> xactOpPhases;
 };
 
 } // namespace ddp::cluster

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <string>
 
 namespace ddp::cluster {
 
@@ -66,7 +67,32 @@ Cluster::setTracer(net::MessageTracer *t)
 }
 
 void
-Cluster::recordOp(core::OpKind kind, sim::Tick latency)
+Cluster::setTrace(sim::TraceRecorder *t)
+{
+    trace = t;
+    net->setTrace(t);
+    for (std::uint32_t n = 0; n < nodes.size(); ++n) {
+        nodes[n]->setTrace(t, n);
+        nodes[n]->nvm().setTrace(t, n, 2);
+        nodes[n]->dram().setTrace(t, n, 3);
+    }
+    if (!t)
+        return;
+    for (std::uint32_t n = 0; n < nodes.size(); ++n) {
+        t->processName(n, "node" + std::to_string(n));
+        t->threadName(n, 0, "requests");
+        t->threadName(n, 1, "nic");
+        t->threadName(n, 2, "nvm");
+        t->threadName(n, 3, "dram");
+    }
+    std::uint32_t cpid = static_cast<std::uint32_t>(nodes.size());
+    t->processName(cpid, "cluster");
+    t->threadName(cpid, 0, "events");
+}
+
+void
+Cluster::recordOp(core::OpKind kind, sim::Tick latency,
+                  const sim::PhaseAccum &phases)
 {
     if (timeline &&
         (kind == core::OpKind::Read || kind == core::OpKind::Write)) {
@@ -76,12 +102,16 @@ Cluster::recordOp(core::OpKind kind, sim::Tick latency)
         return;
     switch (kind) {
       case core::OpKind::Read:
-        readLat.record(latency);
-        allLat.record(latency);
-        break;
       case core::OpKind::Write:
-        writeLat.record(latency);
+        assert(phases.sum() == latency &&
+               "request phase spans must sum to end-to-end latency");
+        if (kind == core::OpKind::Read)
+            readLat.record(latency);
+        else
+            writeLat.record(latency);
         allLat.record(latency);
+        for (std::size_t p = 0; p < sim::kPhaseCount; ++p)
+            phaseLat[p].record(phases.ticks[p]);
         break;
       default:
         // InitXact/EndXact/PersistScope pace the clients but are not
@@ -133,6 +163,10 @@ Cluster::auditEpoch(RecoveryStats &rs,
 void
 Cluster::crashPartial(const std::vector<net::NodeId> &victims)
 {
+    if (trace)
+        trace->instant(static_cast<std::uint32_t>(nodes.size()), 0,
+                       "partial_crash", eq.now(), "victims",
+                       victims.size());
     std::vector<bool> crashed(nodes.size(), false);
     for (net::NodeId v : victims) {
         assert(v < nodes.size());
@@ -205,6 +239,10 @@ Cluster::crashPartialStaged(const std::vector<net::NodeId> &victims,
     assert(cfg.clientRequestTimeout > 0 &&
            "staged partial crash needs client request timeouts: victims' "
            "clients would otherwise hang for the whole downtime");
+    if (trace)
+        trace->instant(static_cast<std::uint32_t>(nodes.size()), 0,
+                       "partial_crash", eq.now(), "victims",
+                       victims.size());
     std::vector<bool> crashed(nodes.size(), false);
     for (net::NodeId v : victims) {
         assert(v < nodes.size());
@@ -288,6 +326,9 @@ Cluster::crashPartialStaged(const std::vector<net::NodeId> &victims,
 void
 Cluster::restartVictims(const std::vector<net::NodeId> &victims)
 {
+    if (trace)
+        trace->instant(static_cast<std::uint32_t>(nodes.size()), 0,
+                       "restart", eq.now(), "victims", victims.size());
     std::vector<bool> returning(nodes.size(), false);
     for (net::NodeId v : victims)
         returning[v] = true;
@@ -369,6 +410,9 @@ Cluster::restartVictims(const std::vector<net::NodeId> &victims)
 void
 Cluster::crashNow()
 {
+    if (trace)
+        trace->instant(static_cast<std::uint32_t>(nodes.size()), 0,
+                       "crash", eq.now());
     if (cfg.recovery == RecoveryPolicy::SimulatedVoting) {
         // Lose volatile state everywhere, then run the voting recovery
         // as a real message protocol; clients resume when it reports.
@@ -491,6 +535,8 @@ Cluster::run()
     readLat.clear();
     writeLat.clear();
     allLat.clear();
+    for (auto &h : phaseLat)
+        h.clear();
     recording = true;
 
     eq.runUntil(cfg.warmup + cfg.measure);
@@ -519,6 +565,12 @@ Cluster::run()
         static_cast<double>(writeLat.p95()) / sim::kNanosecond;
     res.p99WriteNs =
         static_cast<double>(writeLat.p99()) / sim::kNanosecond;
+    for (std::size_t p = 0; p < sim::kPhaseCount; ++p) {
+        res.phaseBreakdown[p].meanNs =
+            phaseLat[p].mean() / sim::kNanosecond;
+        res.phaseBreakdown[p].p95Ns =
+            static_cast<double>(phaseLat[p].p95()) / sim::kNanosecond;
+    }
     res.eventsExecuted = eq.executedEvents();
     res.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -13,6 +13,7 @@
 #ifndef DDP_CLUSTER_CLUSTER_HH
 #define DDP_CLUSTER_CLUSTER_HH
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -25,6 +26,8 @@
 #include "ddp/xact_table.hh"
 #include "net/fabric.hh"
 #include "sim/event_queue.hh"
+#include "sim/phase.hh"
+#include "sim/trace.hh"
 #include "stats/counter.hh"
 #include "stats/histogram.hh"
 #include "stats/timeseries.hh"
@@ -50,6 +53,15 @@ class Cluster
      * RunResult::tracerDropped.
      */
     void setTracer(net::MessageTracer *t);
+
+    /**
+     * Attach a timeline recorder (nullptr detaches; not owned): the
+     * fabric, every node's protocol engine and memory devices, and the
+     * cluster-level crash/recovery machinery emit Chrome-trace events
+     * into it. Track layout: pid i = node i (tid 0 requests, 1 nic,
+     * 2 nvm, 3 dram); pid numNodes() = cluster-level instants.
+     */
+    void setTrace(sim::TraceRecorder *t);
 
     /**
      * Attach a completion-rate timeline: every client request
@@ -107,8 +119,13 @@ class Cluster
     }
 
     // --- Client support ------------------------------------------------------
-    /** Record a completed client request (measurement window only). */
-    void recordOp(core::OpKind kind, sim::Tick latency);
+    /**
+     * Record a completed client request (measurement window only).
+     * @p phases is the request's per-phase time breakdown; for reads
+     * and writes it must sum exactly to @p latency (asserted).
+     */
+    void recordOp(core::OpKind kind, sim::Tick latency,
+                  const sim::PhaseAccum &phases);
     sim::Tick now() const { return eq.now(); }
 
     /**
@@ -121,9 +138,23 @@ class Cluster
                                    std::uint32_t client_id);
 
     /** A client request timed out and rotated coordinators. */
-    void noteClientFailover() { ++clientFailoverCount; }
+    void
+    noteClientFailover()
+    {
+        ++clientFailoverCount;
+        if (trace)
+            trace->instant(static_cast<std::uint32_t>(nodes.size()), 0,
+                           "client_failover", eq.now());
+    }
     /** A client retransmitted a request after failover. */
-    void noteClientRetransmit() { ++clientRetransmitCount; }
+    void
+    noteClientRetransmit()
+    {
+        ++clientRetransmitCount;
+        if (trace)
+            trace->instant(static_cast<std::uint32_t>(nodes.size()), 0,
+                           "client_retransmit", eq.now());
+    }
     /** A client abandoned a transaction batch (attempt cap). */
     void noteXactAbandoned() { ++xactAbandonedCount; }
 
@@ -151,11 +182,14 @@ class Cluster
     core::PropertyChecker *checker = nullptr;
     stats::RateSeries *timeline = nullptr;
     net::MessageTracer *tracerPtr = nullptr;
+    sim::TraceRecorder *trace = nullptr;
 
     bool recording = false;
     stats::Histogram readLat;
     stats::Histogram writeLat;
     stats::Histogram allLat;
+    /** Per-phase latency contributions (reads + writes). */
+    std::array<stats::Histogram, sim::kPhaseCount> phaseLat;
 
     std::vector<RecoveryStats> recoveryLog;
     std::uint64_t lostKeysTotal = 0;

@@ -6,12 +6,14 @@
 #ifndef DDP_CLUSTER_RUN_RESULT_HH
 #define DDP_CLUSTER_RUN_RESULT_HH
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "net/message.hh"
+#include "sim/phase.hh"
 #include "sim/ticks.hh"
 
 namespace ddp::cluster {
@@ -34,6 +36,27 @@ struct RunResult
 
     std::uint64_t reads = 0;
     std::uint64_t writes = 0;
+
+    // --- Per-phase latency breakdown (measurement window) ------------------
+    /** Mean + p95 of one request phase, in nanoseconds. */
+    struct PhaseStat
+    {
+        double meanNs = 0.0;
+        double p95Ns = 0.0;
+    };
+    /**
+     * Breakdown of end-to-end request latency by sim::Phase, over all
+     * completed reads+writes (every request contributes to every
+     * phase, zero when it skipped the phase, so the phase means sum
+     * exactly to meanNs). Indexed by static_cast<size_t>(sim::Phase).
+     */
+    std::array<PhaseStat, sim::kPhaseCount> phaseBreakdown{};
+
+    const PhaseStat &
+    phase(sim::Phase p) const
+    {
+        return phaseBreakdown[static_cast<std::size_t>(p)];
+    }
 
     std::uint64_t messages = 0;
     std::uint64_t networkBytes = 0;

@@ -15,6 +15,7 @@
 #include <functional>
 
 #include "net/message.hh"
+#include "sim/phase.hh"
 #include "sim/ticks.hh"
 
 namespace ddp::core {
@@ -39,6 +40,12 @@ struct OpResult
     sim::Tick completedAt = 0;
     net::Version version{};      ///< version read / written
     bool aborted = false;        ///< transaction squashed by a conflict
+
+    /**
+     * Phase attribution of this request's latency (simulated clock).
+     * Invariant for completed requests: phases.sum() == latency().
+     */
+    sim::PhaseAccum phases{};
 
     sim::Tick latency() const { return completedAt - issuedAt; }
 };

@@ -176,21 +176,27 @@ ProtocolNode::wakeWaiters(KeyId key)
     if (kr.waiters.empty())
         return;
     std::vector<Waiter> still;
-    std::vector<std::function<void()>> ready;
+    std::vector<Waiter> ready;
     still.reserve(kr.waiters.size());
     for (auto &w : kr.waiters) {
         if (waiterSatisfied(kr, w))
-            ready.push_back(std::move(w.resume));
+            ready.push_back(std::move(w));
         else
             still.push_back(std::move(w));
     }
     kr.waiters = std::move(still);
-    for (auto &fn : ready) {
+    for (auto &w : ready) {
         // Re-admission of a woken request costs worker-core time; under
         // hot-key contention this wasted work scales with the number of
         // parked requests.
         sim::Tick t = cores.acquire(eq.now(), cfg.stallRetryCost);
-        eq.schedule(t, std::move(fn));
+        if (w.acc != nullptr) {
+            w.acc->add(w.stallPhase, eq.now() - w.parkedAt);
+            w.acc->add(sim::Phase::CoreQueue,
+                       t - eq.now() - cfg.stallRetryCost);
+            w.acc->add(sim::Phase::Service, cfg.stallRetryCost);
+        }
+        eq.schedule(t, std::move(w.resume));
     }
 }
 
@@ -461,6 +467,8 @@ struct ProtocolNode::ReadCtx
     bool countedVisibility = false;
     bool countedPersist = false;
     std::uint32_t conflictAttempts = 0;
+    /** Phase attribution; sums to completedAt - issued at completion. */
+    sim::PhaseAccum acc{};
 };
 
 void
@@ -473,6 +481,9 @@ ProtocolNode::clientRead(KeyId key, OpContext ctx, OpCompletion done)
     rc->done = std::move(done);
     rc->octx = ctx;
     sim::Tick admitted = cores.acquire(eq.now(), cfg.opProcessing);
+    rc->acc.add(sim::Phase::CoreQueue,
+                admitted - eq.now() - cfg.opProcessing);
+    rc->acc.add(sim::Phase::Service, cfg.opProcessing);
     std::uint32_t ep = currentEpoch;
     eq.schedule(admitted, [this, ep, key, rc] {
         if (ep == currentEpoch)
@@ -487,6 +498,7 @@ ProtocolNode::execRead(KeyId key, std::shared_ptr<ReadCtx> rc)
         rc->charged = true;
         sim::Tick extra = chargeLocalAccess(key, false);
         if (extra > 0) {
+            rc->acc.add(sim::Phase::MemAccess, extra);
             std::uint32_t ep = currentEpoch;
             eq.scheduleIn(extra, [this, ep, key, rc] {
                 if (ep == currentEpoch)
@@ -514,6 +526,7 @@ ProtocolNode::execRead(KeyId key, std::shared_ptr<ReadCtx> rc)
             res.issuedAt = rc->issued;
             res.completedAt = eq.now();
             res.aborted = true;
+            res.phases = rc->acc;
             rc->done(res);
             return;
         }
@@ -534,6 +547,15 @@ ProtocolNode::execRead(KeyId key, std::shared_ptr<ReadCtx> rc)
                 sim::Tick t = cores.acquire(
                     eq.now() + cfg.xactConflictRetryDelay,
                     cfg.stallRetryCost);
+                rc->acc.add(sim::Phase::ConflictRetry,
+                            cfg.xactConflictRetryDelay);
+                rc->acc.add(sim::Phase::CoreQueue,
+                            t - eq.now() - cfg.xactConflictRetryDelay -
+                                cfg.stallRetryCost);
+                rc->acc.add(sim::Phase::Service, cfg.stallRetryCost);
+                if (trace)
+                    trace->instant(tracePid, 0, "conflict_retry",
+                                   eq.now(), "key", key);
                 eq.schedule(t, [this, ep, key, rc] {
                     if (ep == currentEpoch)
                         execRead(key, rc);
@@ -549,6 +571,7 @@ ProtocolNode::execRead(KeyId key, std::shared_ptr<ReadCtx> rc)
             res.issuedAt = rc->issued;
             res.completedAt = eq.now();
             res.aborted = true;
+            res.phases = rc->acc;
             rc->done(res);
             return;
         }
@@ -564,6 +587,7 @@ ProtocolNode::execRead(KeyId key, std::shared_ptr<ReadCtx> rc)
                 res.issuedAt = rc->issued;
                 res.completedAt = eq.now();
                 res.version = w->ver;
+                res.phases = rc->acc;
                 ctr.add("reads_completed");
                 rc->done(res);
                 return;
@@ -580,9 +604,13 @@ ProtocolNode::execRead(KeyId key, std::shared_ptr<ReadCtx> rc)
             rc->countedVisibility = true;
             ctr.add("reads_stalled_visibility");
         }
+        if (trace)
+            trace->instant(tracePid, 0, "visibility_stall", eq.now(),
+                           "key", key);
         kr.waiters.push_back(
             {Waiter::Kind::KeyValid, Version{},
-             [this, key, rc] { execRead(key, rc); }});
+             [this, key, rc] { execRead(key, rc); }, eq.now(),
+             &rc->acc, sim::Phase::VisibilityStall});
         return;
     }
 
@@ -599,11 +627,15 @@ ProtocolNode::execRead(KeyId key, std::shared_ptr<ReadCtx> rc)
                 rc->countedPersist = true;
                 ctr.add("reads_stalled_persist");
             }
+            if (trace)
+                trace->instant(tracePid, 0, "persist_stall", eq.now(),
+                               "key", key);
             kr.waiters.push_back(
                 {global ? Waiter::Kind::GlobalPersist
                         : Waiter::Kind::LocalPersist,
                  kr.volatileVer,
-                 [this, key, rc] { execRead(key, rc); }});
+                 [this, key, rc] { execRead(key, rc); }, eq.now(),
+                 &rc->acc, sim::Phase::PersistStall});
             return;
         }
     }
@@ -634,9 +666,13 @@ ProtocolNode::finishRead(KeyId key, const std::shared_ptr<ReadCtx> &rc)
     res.issuedAt = rc->issued;
     res.completedAt = eq.now();
     res.version = ver;
+    res.phases = rc->acc;
     ctr.add("reads_completed");
     if (sink)
         sink->onRead(self, key, ver, rc->issued, eq.now());
+    if (trace)
+        trace->async(tracePid, "read", ++traceSpanId, rc->issued,
+                     eq.now());
     rc->done(res);
 }
 
@@ -651,6 +687,8 @@ struct ProtocolNode::WriteCtx
     OpContext octx;
     bool charged = false;
     std::uint32_t conflictAttempts = 0;
+    /** Phase attribution; sums to completedAt - issued at completion. */
+    sim::PhaseAccum acc{};
 };
 
 void
@@ -663,6 +701,9 @@ ProtocolNode::clientWrite(KeyId key, OpContext ctx, OpCompletion done)
     wc->done = std::move(done);
     wc->octx = ctx;
     sim::Tick admitted = cores.acquire(eq.now(), cfg.opProcessing);
+    wc->acc.add(sim::Phase::CoreQueue,
+                admitted - eq.now() - cfg.opProcessing);
+    wc->acc.add(sim::Phase::Service, cfg.opProcessing);
     std::uint32_t ep = currentEpoch;
     eq.schedule(admitted, [this, ep, key, wc] {
         if (ep == currentEpoch)
@@ -688,6 +729,7 @@ ProtocolNode::execWrite(KeyId key, std::shared_ptr<WriteCtx> wc)
             res.issuedAt = wc->issued;
             res.completedAt = eq.now();
             res.version = keyState(key).volatileVer;
+            res.phases = wc->acc;
             wc->done(res);
             return;
         }
@@ -697,6 +739,7 @@ ProtocolNode::execWrite(KeyId key, std::shared_ptr<WriteCtx> wc)
         wc->charged = true;
         sim::Tick extra = chargeLocalAccess(key, true);
         if (extra > 0) {
+            wc->acc.add(sim::Phase::MemAccess, extra);
             std::uint32_t ep = currentEpoch;
             eq.scheduleIn(extra, [this, ep, key, wc] {
                 if (ep == currentEpoch)
@@ -735,8 +778,13 @@ ProtocolNode::startAckRoundWrite(KeyId key,
     // One in-flight invalidation round per key per coordinator; later
     // writes (and rounds racing a remote INV) queue.
     if (kr.transient || kr.pendingOpId != 0) {
+        if (trace)
+            trace->instant(tracePid, 0, "write_slot", eq.now(), "key",
+                           key);
         kr.waiters.push_back({Waiter::Kind::WriteSlot, Version{},
-                              [this, key, wc] { execWrite(key, wc); }});
+                              [this, key, wc] { execWrite(key, wc); },
+                              eq.now(), &wc->acc,
+                              sim::Phase::VisibilityStall});
         return;
     }
 
@@ -754,6 +802,9 @@ ProtocolNode::startAckRoundWrite(KeyId key,
     round.clientId = wc->octx.clientId;
     round.clientSeq = wc->octx.clientSeq;
     round.done = wc->done;
+    round.phases = wc->acc;
+    round.startedAt = eq.now();
+    round.waitPhase = sim::Phase::Replication;
 
     kr.pendingOpId = round_id;
     kr.transient = true;
@@ -811,6 +862,7 @@ ProtocolNode::startXactWrite(KeyId key,
     if (it == xactRecs.end() || it->second.aborted) {
         res.completedAt = eq.now();
         res.aborted = true;
+        res.phases = wc->acc;
         wc->done(res);
         return;
     }
@@ -831,6 +883,15 @@ ProtocolNode::startXactWrite(KeyId key,
             sim::Tick t = cores.acquire(
                 eq.now() + cfg.xactConflictRetryDelay,
                 cfg.stallRetryCost);
+            wc->acc.add(sim::Phase::ConflictRetry,
+                        cfg.xactConflictRetryDelay);
+            wc->acc.add(sim::Phase::CoreQueue,
+                        t - eq.now() - cfg.xactConflictRetryDelay -
+                            cfg.stallRetryCost);
+            wc->acc.add(sim::Phase::Service, cfg.stallRetryCost);
+            if (trace)
+                trace->instant(tracePid, 0, "conflict_retry", eq.now(),
+                               "key", key);
             eq.schedule(t, [this, ep, key, wc] {
                 if (ep == currentEpoch)
                     execWrite(key, wc);
@@ -840,6 +901,7 @@ ProtocolNode::startXactWrite(KeyId key,
         xr.aborted = true;
         res.completedAt = eq.now();
         res.aborted = true;
+        res.phases = wc->acc;
         wc->done(res);
         return;
     }
@@ -865,6 +927,9 @@ ProtocolNode::startXactWrite(KeyId key,
         round.followersNeeded = liveFollowerCount(key);
         round.issuedAt = wc->issued;
         round.done = wc->done;
+        round.phases = wc->acc;
+        round.startedAt = eq.now();
+        round.waitPhase = sim::Phase::Replication;
         round.pendingLocalPersists = 1;
         rounds.emplace(round_id, std::move(round));
         issuePersist(key, ver, round_id, false, 0, 0, false);
@@ -890,7 +955,11 @@ ProtocolNode::startXactWrite(KeyId key,
     if (p != Persistency::Strict) {
         res.completedAt = eq.now();
         res.version = ver;
+        res.phases = wc->acc;
         ctr.add("writes_completed");
+        if (trace)
+            trace->async(tracePid, "write", ++traceSpanId, wc->issued,
+                         eq.now());
         wc->done(res);
     } else {
         checkRound(round_id);
@@ -943,6 +1012,9 @@ ProtocolNode::startPropagatedWrite(KeyId key,
         round.followersNeeded = liveFollowerCount(key);
         round.issuedAt = wc->issued;
         round.done = wc->done;
+        round.phases = wc->acc;
+        round.startedAt = eq.now();
+        round.waitPhase = sim::Phase::Replication;
         round.pendingLocalPersists = 1;
         rounds.emplace(round_id, std::move(round));
         issuePersist(key, ver, round_id, false, 0, 0, false,
@@ -976,9 +1048,13 @@ ProtocolNode::startPropagatedWrite(KeyId key,
         res.issuedAt = wc->issued;
         res.completedAt = eq.now();
         res.version = ver;
+        res.phases = wc->acc;
         ctr.add("writes_completed");
         if (sink)
             sink->onWriteComplete(key, ver, eq.now());
+        if (trace)
+            trace->async(tracePid, "write", ++traceSpanId, wc->issued,
+                         eq.now());
         wc->done(res);
     } else {
         checkRound(round_id);
@@ -1016,6 +1092,11 @@ ProtocolNode::clientInitXact(std::uint64_t xact_id, OpCompletion done)
         round.followersNeeded = liveFollowers();
         round.issuedAt = issued;
         round.done = done;
+        round.phases.add(sim::Phase::CoreQueue,
+                         eq.now() - issued - cfg.opProcessing);
+        round.phases.add(sim::Phase::Service, cfg.opProcessing);
+        round.startedAt = eq.now();
+        round.waitPhase = sim::Phase::Replication;
 
         const Persistency p = cfg.model.persistency;
         bool log_persist = p == Persistency::Strict ||
@@ -1059,6 +1140,10 @@ ProtocolNode::clientEndXact(std::uint64_t xact_id, bool commit,
                            done = std::move(done)] {
         if (ep != currentEpoch)
             return;
+        sim::PhaseAccum acc;
+        acc.add(sim::Phase::CoreQueue,
+                eq.now() - issued - cfg.opProcessing);
+        acc.add(sim::Phase::Service, cfg.opProcessing);
         auto it = xactRecs.find(xact_id);
         if (it == xactRecs.end()) {
             OpResult res;
@@ -1067,6 +1152,7 @@ ProtocolNode::clientEndXact(std::uint64_t xact_id, bool commit,
             res.issuedAt = issued;
             res.completedAt = eq.now();
             res.aborted = true;
+            res.phases = acc;
             done(res);
             return;
         }
@@ -1089,6 +1175,7 @@ ProtocolNode::clientEndXact(std::uint64_t xact_id, bool commit,
             res.issuedAt = issued;
             res.completedAt = eq.now();
             res.aborted = true;
+            res.phases = acc;
             done(res);
             return;
         }
@@ -1101,6 +1188,9 @@ ProtocolNode::clientEndXact(std::uint64_t xact_id, bool commit,
         round.followersNeeded = liveFollowers();
         round.issuedAt = issued;
         round.done = done;
+        round.phases = acc;
+        round.startedAt = eq.now();
+        round.waitPhase = sim::Phase::XactCommit;
 
         // Synchronous persistency: the transaction's VP is ENDX, so the
         // coordinator persists all its writes here. Scope persistency
@@ -1157,6 +1247,11 @@ ProtocolNode::clientPersistScope(std::uint64_t scope_id, OpCompletion done)
         round.followersNeeded = liveFollowers();
         round.issuedAt = issued;
         round.done = done;
+        round.phases.add(sim::Phase::CoreQueue,
+                         eq.now() - issued - cfg.opProcessing);
+        round.phases.add(sim::Phase::Service, cfg.opProcessing);
+        round.startedAt = eq.now();
+        round.waitPhase = sim::Phase::PersistStall;
 
         auto buf = scopeBuffers.find(scope_id);
         if (buf != scopeBuffers.end()) {
@@ -1194,7 +1289,12 @@ ProtocolNode::completeWriteToClient(Round &round)
     res.issuedAt = round.issuedAt;
     res.completedAt = eq.now();
     res.version = round.ver;
+    res.phases = round.phases;
+    res.phases.add(round.waitPhase, eq.now() - round.startedAt);
     ctr.add("writes_completed");
+    if (trace)
+        trace->async(tracePid, "write", ++traceSpanId, round.issuedAt,
+                     eq.now());
     // Writes inside transactions report to the checker sink only when
     // the whole transaction commits.
     if (sink && round.xactId == 0)
@@ -1316,6 +1416,8 @@ ProtocolNode::checkRound(std::uint64_t round_id)
             res.node = self;
             res.issuedAt = r.issuedAt;
             res.completedAt = eq.now();
+            res.phases = r.phases;
+            res.phases.add(r.waitPhase, eq.now() - r.startedAt);
             if (r.done)
                 r.done(res);
             rounds.erase(it);
@@ -1357,6 +1459,8 @@ ProtocolNode::checkRound(std::uint64_t round_id)
             res.node = self;
             res.issuedAt = r.issuedAt;
             res.completedAt = eq.now();
+            res.phases = r.phases;
+            res.phases.add(r.waitPhase, eq.now() - r.startedAt);
             if (r.done)
                 r.done(res);
             rounds.erase(it);
@@ -1375,6 +1479,8 @@ ProtocolNode::checkRound(std::uint64_t round_id)
             res.node = self;
             res.issuedAt = r.issuedAt;
             res.completedAt = eq.now();
+            res.phases = r.phases;
+            res.phases.add(r.waitPhase, eq.now() - r.startedAt);
             if (r.done)
                 r.done(res);
             rounds.erase(it);

@@ -50,7 +50,9 @@
 #include "mem/persist_image.hh"
 #include "net/fabric.hh"
 #include "sim/event_queue.hh"
+#include "sim/phase.hh"
 #include "sim/resource.hh"
+#include "sim/trace.hh"
 #include "stats/counter.hh"
 
 namespace ddp::core {
@@ -247,6 +249,14 @@ class ProtocolNode
     // --- Introspection ------------------------------------------------------
     void setSink(EventSink *s) { sink = s; }
 
+    /** Attach a timeline recorder; this node emits on track @p pid. */
+    void
+    setTrace(sim::TraceRecorder *t, std::uint32_t pid)
+    {
+        trace = t;
+        tracePid = pid;
+    }
+
     mem::MemoryDevice &nvm() { return nvmDev; }
     mem::MemoryDevice &dram() { return dramDev; }
     const mem::CacheHierarchy &caches() const { return hierarchy; }
@@ -301,6 +311,13 @@ class ProtocolNode
         Kind kind;
         net::Version ver;
         std::function<void()> resume;
+        /** When the request parked (for stall-phase attribution). */
+        sim::Tick parkedAt = 0;
+        /** Request's phase accumulator; wakeWaiters charges the stall
+         *  and retry costs into it. Null for untracked waiters. */
+        sim::PhaseAccum *acc = nullptr;
+        /** Which phase the park time is attributed to. */
+        sim::Phase stallPhase = sim::Phase::VisibilityStall;
     };
 
     /** Fires when a persist covering the obligation's version
@@ -364,6 +381,12 @@ class ProtocolNode
         std::uint32_t clientId = 0;
         std::uint64_t clientSeq = 0;
         OpCompletion done;
+        /** Phase charges accumulated before the round started. */
+        sim::PhaseAccum phases{};
+        /** When the coordinator began waiting on the round. */
+        sim::Tick startedAt = 0;
+        /** Phase the wait (startedAt .. completion) is charged to. */
+        sim::Phase waitPhase = sim::Phase::Replication;
     };
 
     // --- Transaction & scope records ---------------------------------------
@@ -484,6 +507,10 @@ class ProtocolNode
     stats::CounterRegistry &ctr;
     XactConflictTable *xactTable;
     EventSink *sink = nullptr;
+    sim::TraceRecorder *trace = nullptr;
+    std::uint32_t tracePid = 0;
+    /** Async-span id allocator for this node's request track. */
+    std::uint64_t traceSpanId = 0;
 
     mem::MemoryDevice nvmDev;
     mem::MemoryDevice dramDev;

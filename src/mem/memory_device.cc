@@ -89,14 +89,20 @@ sim::Tick
 MemoryDevice::read(sim::Tick at, std::uint64_t addr)
 {
     ++reads;
-    return access(at, addr, cfg.readLatency);
+    sim::Tick done = access(at, addr, cfg.readLatency);
+    if (trace)
+        trace->complete(tracePid, traceTid, "read", at, done);
+    return done;
 }
 
 sim::Tick
 MemoryDevice::write(sim::Tick at, std::uint64_t addr)
 {
     ++writes;
-    return access(at, addr, cfg.writeLatency);
+    sim::Tick done = access(at, addr, cfg.writeLatency);
+    if (trace)
+        trace->complete(tracePid, traceTid, "write", at, done);
+    return done;
 }
 
 sim::Tick

@@ -23,6 +23,7 @@
 
 #include "sim/resource.hh"
 #include "sim/ticks.hh"
+#include "sim/trace.hh"
 
 namespace ddp::mem {
 
@@ -95,6 +96,19 @@ class MemoryDevice
     /** Reset timing state between experiment phases. */
     void reset();
 
+    /**
+     * Attach a timeline recorder: every access emits a span on track
+     * (@p pid, @p tid) covering arrival through completion (bank +
+     * channel queueing included). nullptr detaches.
+     */
+    void
+    setTrace(sim::TraceRecorder *t, std::uint32_t pid, std::uint32_t tid)
+    {
+        trace = t;
+        tracePid = pid;
+        traceTid = tid;
+    }
+
   private:
     std::size_t bankIndex(std::uint64_t addr) const;
     std::size_t channelIndex(std::uint64_t addr) const;
@@ -102,6 +116,9 @@ class MemoryDevice
     sim::Tick access(sim::Tick at, std::uint64_t addr, sim::Tick latency);
 
     MemoryParams cfg;
+    sim::TraceRecorder *trace = nullptr;
+    std::uint32_t tracePid = 0;
+    std::uint32_t traceTid = 0;
     std::vector<sim::FifoResource> banks;
     std::vector<sim::FifoResource> channelBus;
     /** Open row per bank (open-page policy only); ~0 = none. */

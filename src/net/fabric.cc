@@ -140,6 +140,9 @@ Fabric::transmitRaw(Message msg)
             faults->noteCut();
             nics[msg.src]->noteDrop();
             ++dropCount;
+            if (trace)
+                trace->instant(msg.src, 1, "link_cut", queue.now(),
+                               "dst", msg.dst);
             return;
         }
         FaultPlan::Decision d =
@@ -147,6 +150,9 @@ Fabric::transmitRaw(Message msg)
         if (d.drop) {
             nics[msg.src]->noteDrop();
             ++dropCount;
+            if (trace)
+                trace->instant(msg.src, 1, "drop", queue.now(), "dst",
+                               msg.dst);
             return;
         }
         for (std::uint32_t c = 0; c < d.duplicates; ++c)
@@ -178,6 +184,12 @@ Fabric::transmitOnce(Message msg, sim::Tick extra_delay, bool reorder)
     sim::Tick ordered =
         reorder ? arrival : src.orderDelivery(msg.dst, arrival);
     sim::Tick rx_done = dst.receive(ordered, msg);
+
+    // Wire span on the sender's NIC track: TX start through RX done.
+    // NET_ACKs are link-level chatter and only clutter the timeline.
+    if (trace && msg.type != MsgType::NetAck)
+        trace->complete(msg.src, 1, msgTypeName(msg.type), queue.now(),
+                        rx_done, "dst", msg.dst);
 
     queue.schedule(rx_done, [this, idx = park(std::move(msg))] {
         deliverArrival(unpark(idx));
@@ -286,6 +298,8 @@ Fabric::onRetransmitTimeout(NodeId src, NodeId dst, std::uint64_t seq)
     ++p.attempt;
     nics[src]->noteRetransmit();
     ++retransmitCount;
+    if (trace)
+        trace->instant(src, 1, "retransmit", queue.now(), "seq", seq);
     transmitRaw(p.msg);
     armRetransmit(src, dst, seq);
 }

@@ -31,6 +31,7 @@
 #include "sim/event_queue.hh"
 #include "sim/resource.hh"
 #include "sim/ticks.hh"
+#include "sim/trace.hh"
 
 namespace ddp::net {
 
@@ -231,6 +232,14 @@ class Fabric
     void setTracer(MessageTracer *t) { tracer = t; }
 
     /**
+     * Attach a timeline recorder (nullptr detaches; not owned). Wire
+     * spans are emitted on the sender's pid (tid 1 = "nic"): one
+     * complete event per transmission covering TX serialization
+     * through RX completion, plus instants for drops and retransmits.
+     */
+    void setTrace(sim::TraceRecorder *t) { trace = t; }
+
+    /**
      * Attach a fault-injection plan (nullptr detaches; not owned).
      * Injection applies to every transmission, including link-level
      * acks and retransmissions.
@@ -310,6 +319,7 @@ class Fabric
     /** Shared inter-rack uplink (TwoTier topology). */
     sim::FifoResource uplink;
     MessageTracer *tracer = nullptr;
+    sim::TraceRecorder *trace = nullptr;
     FaultPlan *faults = nullptr;
     /** Directed queue pairs, row = src (only used when reliable). */
     std::vector<QpState> qps;

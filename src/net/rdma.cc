@@ -31,6 +31,9 @@ RdmaEngine::write(NodeId dst, std::uint64_t addr, std::uint32_t bytes,
     // access; we fold it into rxOverhead. Ack carries no payload.
     sim::Tick placed = tx + oneWay(bytes) + cfg.rxOverhead;
     sim::Tick acked = placed + oneWay(0);
+    if (trace)
+        trace->complete(tracePid, 1, "rdma_write", queue.now(), acked,
+                        "dst", dst);
     queue.schedule(acked, [done = std::move(done), acked] { done(acked); });
 }
 
@@ -46,6 +49,9 @@ RdmaEngine::writePersist(NodeId dst, std::uint64_t addr,
     // The remote NIC issues the NVM write; ack only after durability.
     sim::Tick durable = nvms[dst]->write(arrived, addr);
     sim::Tick acked = durable + oneWay(0);
+    if (trace)
+        trace->complete(tracePid, 1, "rdma_write_persist", queue.now(),
+                        acked, "dst", dst);
     queue.schedule(acked, [done = std::move(done), acked] { done(acked); });
 }
 
@@ -58,6 +64,9 @@ RdmaEngine::flush(NodeId dst, std::uint64_t addr, RdmaCompletion done)
     sim::Tick arrived = tx + oneWay(0) + cfg.rxOverhead;
     sim::Tick durable = nvms[dst]->write(arrived, addr);
     sim::Tick acked = durable + oneWay(0);
+    if (trace)
+        trace->complete(tracePid, 1, "rdma_flush", queue.now(), acked,
+                        "dst", dst);
     queue.schedule(acked, [done = std::move(done), acked] { done(acked); });
 }
 

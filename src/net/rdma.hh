@@ -63,6 +63,15 @@ class RdmaEngine
 
     std::uint64_t opCount() const { return ops; }
 
+    /** Attach a timeline recorder; verbs emit spans on the initiator's
+     *  pid (@p pid, tid 1 = "nic"). nullptr detaches. */
+    void
+    setTrace(sim::TraceRecorder *t, std::uint32_t pid)
+    {
+        trace = t;
+        tracePid = pid;
+    }
+
   private:
     /** One-way wire delay for @p bytes of payload. */
     sim::Tick oneWay(std::uint32_t bytes) const;
@@ -73,6 +82,8 @@ class RdmaEngine
     sim::FifoResource txPipe;
     std::vector<mem::MemoryDevice *> nvms;
     std::uint64_t ops = 0;
+    sim::TraceRecorder *trace = nullptr;
+    std::uint32_t tracePid = 0;
 };
 
 } // namespace ddp::net

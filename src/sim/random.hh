@@ -83,7 +83,12 @@ class Pcg32
 
 /**
  * Zipfian-distributed integers in [0, n), using the Gray et al. rejection
- * method popularized by YCSB. theta is the skew (YCSB default 0.99).
+ * method popularized by YCSB. theta is the skew (YCSB default 0.99);
+ * any finite theta >= 0 is accepted. theta == 1 (the harmonic Zipf
+ * singularity of the Gray formula, where alpha = 1/(1-theta) blows up)
+ * is handled by the analytic limit of the quantile map: as theta -> 1,
+ *   n * (eta*u - eta + 1)^(1/(1-theta))  ->  n * exp(c * (u - 1))
+ * with c = ln(n/2) / (1 - zeta(2)/zeta(n)).
  */
 class ZipfianGenerator
 {
@@ -92,11 +97,28 @@ class ZipfianGenerator
         : items(n), theta(theta)
     {
         assert(n > 0);
+        assert(theta >= 0.0);
         zetan = zeta(n, theta);
         zeta2 = zeta(2, theta);
-        alpha = 1.0 / (1.0 - theta);
-        eta = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
-              (1.0 - zeta2 / zetan);
+        if (n == 1) {
+            // Sole item: next() always takes the uz < 1 branch (zetan
+            // == 1). zeta(2) > zeta(1) would poison eta's denominator,
+            // so park the unused coefficients at inert values.
+            harmonic = false;
+            alpha = 1.0;
+            eta = 0.0;
+        } else if (theta == 1.0) {
+            harmonic = true;
+            alpha = 0.0; // unused on the harmonic path
+            eta = std::log(static_cast<double>(n) / 2.0) /
+                  (1.0 - zeta2 / zetan);
+        } else {
+            harmonic = false;
+            alpha = 1.0 / (1.0 - theta);
+            eta = (1.0 -
+                   std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+                  (1.0 - zeta2 / zetan);
+        }
     }
 
     /** Sample an item index; item 0 is the most popular. */
@@ -109,9 +131,11 @@ class ZipfianGenerator
             return 0;
         if (uz < 1.0 + std::pow(0.5, theta))
             return 1;
+        double scaled =
+            harmonic ? std::exp(eta * (u - 1.0))
+                     : std::pow(eta * u - eta + 1.0, alpha);
         auto idx = static_cast<std::uint64_t>(
-            static_cast<double>(items) *
-            std::pow(eta * u - eta + 1.0, alpha));
+            static_cast<double>(items) * scaled);
         return idx >= items ? items - 1 : idx;
     }
 
@@ -134,6 +158,7 @@ class ZipfianGenerator
     double zeta2;
     double alpha;
     double eta;
+    bool harmonic = false;
 };
 
 } // namespace ddp::sim

@@ -1,0 +1,123 @@
+#include "sim/trace.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ddp::sim {
+
+namespace {
+
+/**
+ * Ticks (picoseconds) to the trace format's microsecond timestamps as
+ * a fixed-point decimal string — integer math only, so serialization
+ * is byte-identical across hosts and sweep parallelism.
+ */
+void
+appendMicros(std::string &out, Tick t)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%" PRIu64 ".%06" PRIu64,
+                  t / 1000000, t % 1000000);
+    out += buf;
+}
+
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+} // namespace
+
+std::string
+TraceRecorder::serialize() const
+{
+    std::string out;
+    out.reserve(meta.size() * 96 + events.size() * 128);
+    bool first = true;
+    char buf[96];
+
+    auto sep = [&] {
+        if (!first)
+            out += ",\n";
+        first = false;
+    };
+
+    for (const Meta &m : meta) {
+        sep();
+        std::snprintf(buf, sizeof buf,
+                      "{\"ph\":\"M\",\"pid\":%u,\"tid\":%u,\"name\":\"%s\","
+                      "\"args\":{\"name\":",
+                      m.pid, m.tid,
+                      m.process ? "process_name" : "thread_name");
+        out += buf;
+        appendJsonString(out, m.name);
+        out += "}}";
+    }
+
+    for (const Event &e : events) {
+        sep();
+        std::snprintf(buf, sizeof buf, "{\"ph\":\"%c\",\"pid\":%u,\"tid\":%u,",
+                      e.ph, e.pid, e.tid);
+        out += buf;
+        out += "\"name\":\"";
+        out += e.name; // static literal, nothing to escape
+        out += "\",\"ts\":";
+        appendMicros(out, e.ts);
+        if (e.ph == 'X') {
+            out += ",\"dur\":";
+            appendMicros(out, e.dur);
+        } else if (e.ph == 'i') {
+            out += ",\"s\":\"t\""; // thread-scoped instant
+        } else if (e.ph == 'b' || e.ph == 'e') {
+            // Async spans pair up by (cat, id); argVal carries the id.
+            std::snprintf(buf, sizeof buf,
+                          ",\"cat\":\"req\",\"id\":%" PRIu64, e.argVal);
+            out += buf;
+        }
+        if (e.argKey != nullptr) {
+            out += ",\"args\":{\"";
+            out += e.argKey;
+            std::snprintf(buf, sizeof buf, "\":%" PRIu64 "}", e.argVal);
+            out += buf;
+        }
+        out += '}';
+    }
+    return out;
+}
+
+void
+TraceRecorder::writeFile(std::ostream &os,
+                         const std::vector<std::string> &fragments)
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    bool first = true;
+    for (const std::string &f : fragments) {
+        if (f.empty())
+            continue;
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << f;
+    }
+    os << "\n]}\n";
+}
+
+} // namespace ddp::sim

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Chrome-trace-event (Perfetto-loadable) timeline recorder.
+ *
+ * A TraceRecorder collects complete ('X') and instant ('i') events on
+ * the simulated clock and serializes them into the Chrome trace-event
+ * JSON array format that https://ui.perfetto.dev and chrome://tracing
+ * load directly. Zero cost when no recorder is attached: every emission
+ * site is a raw-pointer null check, the same pattern as
+ * net::MessageTracer and core::EventSink.
+ *
+ * Determinism: timestamps are simulated picoseconds converted to the
+ * trace format's microseconds with pure integer math (no floating
+ * point), names are static string literals, and events are appended in
+ * simulation order by the single thread that owns the run. A sweep
+ * gives each run its own recorder with a distinct pid base and
+ * concatenates the serialized fragments in submission order, so the
+ * merged file is byte-identical for any `--jobs N`.
+ */
+
+#ifndef DDP_SIM_TRACE_HH
+#define DDP_SIM_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace ddp::sim {
+
+/** Records a timeline of one simulation run. Not thread-safe; one per run. */
+class TraceRecorder
+{
+  public:
+    /**
+     * @p pid_base offsets every track id so runs of a sweep occupy
+     * disjoint pid ranges in the merged file; @p max_events bounds
+     * memory (excess events are counted in dropped(), not stored).
+     */
+    explicit TraceRecorder(std::uint32_t pid_base = 0,
+                           std::size_t max_events = 1u << 20)
+        : pidBase(pid_base), maxEvents(max_events)
+    {
+    }
+
+    /** A span on track (pid, tid) from @p start to @p end. */
+    void
+    complete(std::uint32_t pid, std::uint32_t tid, const char *name,
+             Tick start, Tick end, const char *arg_key = nullptr,
+             std::uint64_t arg_val = 0)
+    {
+        push({'X', pidBase + pid, tid, name, start,
+              end >= start ? end - start : 0, arg_key, arg_val});
+    }
+
+    /** A point event on track (pid, tid) at @p at. */
+    void
+    instant(std::uint32_t pid, std::uint32_t tid, const char *name,
+            Tick at, const char *arg_key = nullptr,
+            std::uint64_t arg_val = 0)
+    {
+        push({'i', pidBase + pid, tid, name, at, 0, arg_key, arg_val});
+    }
+
+    /**
+     * An async ('b'/'e') span on pid's "requests" nesting track.
+     * Async spans may overlap freely — Perfetto stacks them by
+     * @p span_id — which is why request lifetimes use this instead of
+     * complete events (overlapping 'X' on one tid render wrongly).
+     */
+    void
+    async(std::uint32_t pid, const char *name, std::uint64_t span_id,
+          Tick start, Tick end)
+    {
+        push({'b', pidBase + pid, 0, name, start, 0, nullptr, span_id});
+        push({'e', pidBase + pid, 0, name, end >= start ? end : start,
+              0, nullptr, span_id});
+    }
+
+    /** Label a pid track ("node0", "cluster", ...). */
+    void
+    processName(std::uint32_t pid, const std::string &name)
+    {
+        meta.push_back({pidBase + pid, 0, name, true});
+    }
+
+    /** Label a tid within a pid ("protocol", "nic", "memory", ...). */
+    void
+    threadName(std::uint32_t pid, std::uint32_t tid,
+               const std::string &name)
+    {
+        meta.push_back({pidBase + pid, tid, name, false});
+    }
+
+    std::size_t eventCount() const { return events.size(); }
+    std::uint64_t dropped() const { return droppedEvents; }
+
+    /**
+     * Serialize to a fragment of a trace-event JSON array: one event
+     * object per line, comma-separated, no enclosing brackets. Empty
+     * recorders yield an empty string. Callers join fragments with
+     * ",\n" and wrap in {"traceEvents":[ ... ]}.
+     */
+    std::string serialize() const;
+
+    /** Wrap pre-serialized fragments into a complete trace JSON file. */
+    static void writeFile(std::ostream &os,
+                          const std::vector<std::string> &fragments);
+
+  private:
+    struct Event
+    {
+        char ph;
+        std::uint32_t pid;
+        std::uint32_t tid;
+        const char *name; ///< static literal; never escaped
+        Tick ts;
+        Tick dur;
+        const char *argKey; ///< static literal or nullptr
+        std::uint64_t argVal;
+    };
+
+    struct Meta
+    {
+        std::uint32_t pid;
+        std::uint32_t tid;
+        std::string name;
+        bool process;
+    };
+
+    void
+    push(Event e)
+    {
+        if (events.size() >= maxEvents) {
+            ++droppedEvents;
+            return;
+        }
+        events.push_back(e);
+    }
+
+    std::uint32_t pidBase;
+    std::size_t maxEvents;
+    std::vector<Event> events;
+    std::vector<Meta> meta;
+    std::uint64_t droppedEvents = 0;
+};
+
+} // namespace ddp::sim
+
+#endif // DDP_SIM_TRACE_HH

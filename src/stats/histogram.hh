@@ -74,7 +74,9 @@ class Histogram
     /**
      * Approximate value at quantile @p q in [0, 1]. Returns the
      * representative (midpoint) value of the bucket containing the
-     * q-th sample. 0 if empty.
+     * q-th sample, clamped to [min(), max()] so a sparse tail bucket
+     * can never report a percentile outside the observed extremes.
+     * 0 if empty.
      */
     std::uint64_t
     quantile(double q) const
@@ -90,8 +92,12 @@ class Histogram
         std::uint64_t seen = 0;
         for (std::size_t i = 0; i < kBuckets; ++i) {
             seen += counts[i];
-            if (seen >= target)
-                return representative(i);
+            if (seen >= target) {
+                std::uint64_t rep = representative(i);
+                if (rep < minV)
+                    return minV;
+                return rep > maxV ? maxV : rep;
+            }
         }
         return maxV;
     }

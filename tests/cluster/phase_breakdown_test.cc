@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Request-phase attribution invariants.
+ *
+ * recordOp asserts per-request that the phase spans sum exactly to the
+ * end-to-end latency (so any run below already exercises that for
+ * every completed request). These tests pin the aggregate identities
+ * on top: the phase means sum to the pooled mean latency, stall-heavy
+ * models attribute time to the expected phases, and the attached
+ * TraceRecorder yields identical timelines for identical runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hh"
+
+using namespace ddp;
+using namespace ddp::cluster;
+using core::Consistency;
+using core::DdpModel;
+using core::Persistency;
+
+namespace {
+
+ClusterConfig
+smallConfig(DdpModel m)
+{
+    ClusterConfig c;
+    c.model = m;
+    c.numServers = 3;
+    c.clientsPerServer = 4;
+    c.keyCount = 2000;
+    c.workload = workload::WorkloadSpec::ycsbA(2000);
+    c.warmup = 100 * sim::kMicrosecond;
+    c.measure = 400 * sim::kMicrosecond;
+    c.seed = 11;
+    return c;
+}
+
+double
+phaseMeanSum(const RunResult &r)
+{
+    double sum = 0;
+    for (const auto &ps : r.phaseBreakdown)
+        sum += ps.meanNs;
+    return sum;
+}
+
+double
+pooledMeanNs(const RunResult &r)
+{
+    double n = static_cast<double>(r.reads + r.writes);
+    return (r.meanReadNs * static_cast<double>(r.reads) +
+            r.meanWriteNs * static_cast<double>(r.writes)) /
+           n;
+}
+
+} // namespace
+
+TEST(PhaseBreakdown, MeansSumToPooledMeanAcrossModels)
+{
+    // One model per consistency level plus the stall-heavy persistency
+    // corners; per-request exactness is asserted inside recordOp, so
+    // the aggregate check only has to absorb float rounding.
+    const DdpModel models[] = {
+        {Consistency::Linearizable, Persistency::Strict},
+        {Consistency::Linearizable, Persistency::Synchronous},
+        {Consistency::ReadEnforced, Persistency::ReadEnforced},
+        {Consistency::Transactional, Persistency::Synchronous},
+        {Consistency::Causal, Persistency::Scope},
+        {Consistency::Eventual, Persistency::Eventual},
+    };
+    for (const DdpModel &m : models) {
+        Cluster c(smallConfig(m));
+        RunResult r = c.run();
+        ASSERT_GT(r.reads + r.writes, 0u) << core::modelName(m);
+        EXPECT_NEAR(phaseMeanSum(r), pooledMeanNs(r),
+                    pooledMeanNs(r) * 1e-9 + 1e-6)
+            << core::modelName(m);
+    }
+}
+
+TEST(PhaseBreakdown, StrictModelPaysReplication)
+{
+    Cluster c(smallConfig(
+        {Consistency::Linearizable, Persistency::Strict}));
+    RunResult r = c.run();
+    // Strict persistency rides every write's INV round to all replicas
+    // before acking: replication must dominate the write path.
+    EXPECT_GT(r.phase(sim::Phase::Replication).meanNs, 0.0);
+    EXPECT_GT(r.phase(sim::Phase::Service).meanNs, 0.0);
+}
+
+TEST(PhaseBreakdown, EventualModelHasNoReplicationStall)
+{
+    Cluster c(smallConfig(
+        {Consistency::Eventual, Persistency::Eventual}));
+    RunResult r = c.run();
+    // Eventual/Eventual acks immediately after local work: nothing to
+    // wait on, so only core + memory phases may be populated.
+    EXPECT_EQ(r.phase(sim::Phase::Replication).meanNs, 0.0);
+    EXPECT_EQ(r.phase(sim::Phase::PersistStall).meanNs, 0.0);
+    EXPECT_EQ(r.phase(sim::Phase::XactCommit).meanNs, 0.0);
+}
+
+TEST(PhaseBreakdown, TransactionalChargesCommitPhase)
+{
+    Cluster c(smallConfig(
+        {Consistency::Transactional, Persistency::Synchronous}));
+    RunResult r = c.run();
+    // Xact writes complete at the END_XACT round: the tail between a
+    // write's own finish and commit lands in XactCommit.
+    EXPECT_GT(r.phase(sim::Phase::XactCommit).meanNs, 0.0);
+}
+
+TEST(PhaseBreakdown, TraceIsDeterministicAcrossIdenticalRuns)
+{
+    std::string first;
+    for (int i = 0; i < 2; ++i) {
+        sim::TraceRecorder rec;
+        Cluster c(smallConfig(
+            {Consistency::Linearizable, Persistency::Strict}));
+        c.setTrace(&rec);
+        c.run();
+        EXPECT_GT(rec.eventCount(), 0u);
+        std::string json = rec.serialize();
+        if (i == 0)
+            first = std::move(json);
+        else
+            EXPECT_EQ(first, json);
+    }
+}
+
+TEST(PhaseBreakdown, NoTraceAttachedRecordsNothing)
+{
+    // The zero-cost path: a run without a recorder must still fill the
+    // phase breakdown (it is always on) and never touch a recorder.
+    Cluster c(smallConfig(
+        {Consistency::Causal, Persistency::Synchronous}));
+    RunResult r = c.run();
+    EXPECT_GT(phaseMeanSum(r), 0.0);
+}

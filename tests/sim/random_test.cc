@@ -111,3 +111,54 @@ TEST(Zipfian, DeterministicGivenRngState)
     for (int i = 0; i < 500; ++i)
         ASSERT_EQ(zipf.next(a), zipf.next(b));
 }
+
+// --- theta >= 1.0 (harmonic / super-skewed paths) --------------------------
+// YCSB's standard formula divides by (1 - theta); theta == 1.0 needs the
+// harmonic closed form and theta > 1.0 a negative alpha. All three paths
+// must stay in range and order by skew.
+
+TEST(Zipfian, ThetaSweepStaysInRange)
+{
+    for (double theta : {0.99, 1.0, 1.2}) {
+        Pcg32 rng(17, 3);
+        ZipfianGenerator zipf(1000, theta);
+        for (int i = 0; i < 20000; ++i)
+            ASSERT_LT(zipf.next(rng), 1000u) << "theta " << theta;
+    }
+}
+
+TEST(Zipfian, ThetaOneIsFiniteAndSkewed)
+{
+    Pcg32 rng(17, 4);
+    ZipfianGenerator zipf(10000, 1.0);
+    std::map<std::uint64_t, int> hist;
+    for (int i = 0; i < 100000; ++i)
+        hist[zipf.next(rng)]++;
+    EXPECT_GT(hist[0], hist[50] * 5);
+    EXPECT_GT(hist[0], 5000);
+}
+
+TEST(Zipfian, HigherThetaIsMoreSkewed)
+{
+    Pcg32 r1(17, 5), r2(17, 5), r3(17, 5);
+    ZipfianGenerator z99(10000, 0.99), z100(10000, 1.0),
+        z120(10000, 1.2);
+    int hot99 = 0, hot100 = 0, hot120 = 0;
+    for (int i = 0; i < 50000; ++i) {
+        hot99 += z99.next(r1) == 0;
+        hot100 += z100.next(r2) == 0;
+        hot120 += z120.next(r3) == 0;
+    }
+    EXPECT_GT(hot100, hot99);
+    EXPECT_GT(hot120, hot100);
+}
+
+TEST(Zipfian, SingleItemThetaOneEdge)
+{
+    // n == 1 with theta == 1.0 once divided 0/0 computing eta; the
+    // sole-item branch must win over the harmonic branch.
+    Pcg32 rng(17, 6);
+    ZipfianGenerator zipf(1, 1.0);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(zipf.next(rng), 0u);
+}

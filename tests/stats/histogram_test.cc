@@ -60,6 +60,37 @@ TEST(Histogram, QuantileRelativeErrorBounded)
     EXPECT_NEAR(p99, 99000.0, 99000.0 * 0.03);
 }
 
+TEST(Histogram, QuantileNeverLeavesObservedRange)
+{
+    // Property: for any sample set and any q, the log-bucket
+    // representative must be clamped into [min, max]. A single sample
+    // near a bucket's lower edge once reported a p95 above the largest
+    // value ever recorded.
+    ddp::sim::Pcg32 rng(77, 2);
+    for (int trial = 0; trial < 50; ++trial) {
+        Histogram h;
+        int samples = 1 + static_cast<int>(rng.nextU64() % 40);
+        for (int i = 0; i < samples; ++i) {
+            // Mix magnitudes so sparse high buckets are common.
+            std::uint64_t mag = 1ull << (rng.nextU64() % 40);
+            h.record(rng.nextU64() % (mag + 1));
+        }
+        for (double q = 0.0; q <= 1.0; q += 0.01) {
+            std::uint64_t v = h.quantile(q);
+            ASSERT_GE(v, h.min()) << "trial " << trial << " q " << q;
+            ASSERT_LE(v, h.max()) << "trial " << trial << " q " << q;
+        }
+    }
+}
+
+TEST(Histogram, SingleSampleAllQuantilesEqualIt)
+{
+    Histogram h;
+    h.record(123457);
+    for (double q : {0.0, 0.5, 0.95, 0.99, 1.0})
+        EXPECT_EQ(h.quantile(q), 123457u);
+}
+
 TEST(Histogram, QuantilesMonotonic)
 {
     Histogram h;

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Round-trip tests for the ddp-bench-v1 JSON writer.
+ *
+ * Every BENCH_*.json artifact and ddpsim --format json record flows
+ * through JsonArrayWriter, so a formatting bug silently corrupts the
+ * perf trajectory. These tests pin the correctness-critical parts:
+ * doubles survive a text round trip bit-exactly (max_digits10),
+ * non-finite doubles degrade to null instead of invalid JSON, and
+ * control characters in strings are escaped.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "bench_common.hh"
+
+using ddp::bench::JsonArrayWriter;
+
+namespace {
+
+/** Extract the raw text of "key": <value> from a serialized record. */
+std::string
+rawValue(const std::string &json, const std::string &key)
+{
+    std::string needle = "\"" + key + "\": ";
+    std::size_t at = json.find(needle);
+    EXPECT_NE(at, std::string::npos) << key << " not in " << json;
+    if (at == std::string::npos)
+        return {};
+    std::size_t start = at + needle.size();
+    std::size_t end = json.find_first_of(",\n", start);
+    return json.substr(start, end - start);
+}
+
+} // namespace
+
+TEST(JsonArrayWriter, DoubleRoundTripsBitExact)
+{
+    // max_digits10 significant digits guarantee strtod returns the
+    // exact same bits for every finite double.
+    const double values[] = {0.1 + 0.2,
+                             1.0 / 3.0,
+                             6.02214076e23,
+                             5e-324, // min denormal
+                             std::numeric_limits<double>::max(),
+                             123456789.123456789,
+                             -0.0};
+    std::ostringstream os;
+    JsonArrayWriter w(os);
+    w.beginRecord();
+    int i = 0;
+    for (double v : values)
+        w.field(("v" + std::to_string(i++)).c_str(), v);
+    w.endRecord();
+    w.finish();
+
+    std::string json = os.str();
+    i = 0;
+    for (double v : values) {
+        std::string raw = rawValue(json, "v" + std::to_string(i++));
+        double back = std::strtod(raw.c_str(), nullptr);
+        EXPECT_EQ(back, v) << raw;
+    }
+}
+
+TEST(JsonArrayWriter, NonFiniteDoublesBecomeNull)
+{
+    std::ostringstream os;
+    JsonArrayWriter w(os);
+    w.beginRecord();
+    w.field("nan", std::nan(""));
+    w.field("inf", std::numeric_limits<double>::infinity());
+    w.field("ninf", -std::numeric_limits<double>::infinity());
+    w.endRecord();
+    w.finish();
+
+    std::string json = os.str();
+    EXPECT_EQ(rawValue(json, "nan"), "null");
+    EXPECT_EQ(rawValue(json, "inf"), "null");
+    EXPECT_EQ(rawValue(json, "ninf"), "null");
+}
+
+TEST(JsonArrayWriter, StringsEscapeControlAndQuoteChars)
+{
+    std::ostringstream os;
+    JsonArrayWriter w(os);
+    w.beginRecord();
+    w.field("s", std::string("a\"b\\c\nd\te\rf\x01g"));
+    w.endRecord();
+    w.finish();
+
+    std::string json = os.str();
+    EXPECT_NE(json.find("a\\\"b\\\\c\\nd\\te\\rf\\u0001g"),
+              std::string::npos)
+        << json;
+}
+
+TEST(JsonArrayWriter, ArrayShapeAndSeparators)
+{
+    std::ostringstream os;
+    JsonArrayWriter w(os);
+    w.beginRecord();
+    w.field("a", std::uint64_t{1});
+    w.field("b", true);
+    w.endRecord();
+    w.beginRecord();
+    w.field("a", std::uint64_t{2});
+    w.field("b", false);
+    w.endRecord();
+    w.finish();
+
+    std::string json = os.str();
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_NE(json.find("\"a\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"b\": true"), std::string::npos);
+    EXPECT_NE(json.find("},\n"), std::string::npos); // record separator
+    EXPECT_NE(json.find("\n]\n"), std::string::npos);
+}

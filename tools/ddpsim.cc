@@ -62,6 +62,8 @@ struct Options
     std::string traceFile;
     enum class Format { Table, Csv, Json };
     Format format = Format::Table;
+    /** Chrome-trace (Perfetto) timeline output path; empty = off. */
+    std::string traceOut;
     /** Sweep worker threads; 0 = one per hardware thread. Sweeps are
      *  byte-identical on stdout for any value (DESIGN.md). */
     unsigned jobs = 1;
@@ -176,6 +178,11 @@ usage(std::ostream &os)
           "                      from --seed)\n\n"
           "output:\n"
           "  --format F          table | csv | json (default table)\n"
+          "  --trace-out PATH    write a Chrome-trace-event JSON\n"
+          "                      timeline (load at ui.perfetto.dev);\n"
+          "                      one pid block per run, byte-identical\n"
+          "                      for any --jobs count. Not available\n"
+          "                      with --torture.\n"
           "  --jobs N            worker threads for --all-models /\n"
           "                      --torture sweeps; 0 = one per hardware\n"
           "                      thread (default 1). Output is\n"
@@ -480,6 +487,10 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.partitionUs = {from, until};
         } else if (flag == "--trace-file") {
             opt.traceFile = val;
+        } else if (flag == "--trace-out") {
+            if (val.empty())
+                return bad("output path");
+            opt.traceOut = val;
         } else if (flag == "--format") {
             if (val == "csv") {
                 opt.format = Options::Format::Csv;
@@ -531,6 +542,13 @@ parseArgs(int argc, char **argv, Options &opt)
                          "--torture to pick the crash point\n";
             return false;
         }
+    }
+    if (opt.torturePoints > 0 && !opt.traceOut.empty()) {
+        std::cerr << "--trace-out is not available with --torture "
+                     "(hundreds of runs make one merged timeline "
+                     "useless); trace a single crash run with "
+                     "--crash-at-us instead\n";
+        return false;
     }
     if (opt.torturePoints > 0 && opt.crashAtUs) {
         std::cerr << "--torture picks its own crash points; drop "
@@ -626,6 +644,9 @@ struct Row
     core::DdpModel model;
     cluster::RunResult result;
     std::uint64_t lost = 0;
+    /** Serialized trace-event fragment (--trace-out only). */
+    std::string traceJson;
+    std::uint64_t traceDropped = 0;
 };
 
 /** "0;2;4" — semicolon-joined so the list stays one CSV field. */
@@ -643,7 +664,7 @@ joinNodes(const std::vector<net::NodeId> &nodes)
 
 Row
 runExperiment(const Options &opt, core::DdpModel model,
-              const workload::Trace *trace)
+              const workload::Trace *trace, std::size_t run_idx)
 {
     if (opt.replication != 0 &&
         (model.consistency == core::Consistency::Causal ||
@@ -655,6 +676,17 @@ runExperiment(const Options &opt, core::DdpModel model,
     cluster::ClusterConfig cfg = makeConfig(opt, model);
     cfg.trace = trace;
     cluster::Cluster c(cfg);
+
+    // Per-run recorder with a disjoint pid block: run N's tracks are
+    // pids [N*1000, N*1000+servers]. Fragments are serialized here on
+    // the worker and merged in model order by main(), so the file is
+    // byte-identical for any --jobs count.
+    std::optional<sim::TraceRecorder> rec;
+    if (!opt.traceOut.empty()) {
+        rec.emplace(static_cast<std::uint32_t>(run_idx) * 1000);
+        c.setTrace(&*rec);
+    }
+
     core::PropertyChecker checker;
     if (opt.crashAtUs) {
         c.setChecker(&checker);
@@ -674,6 +706,10 @@ runExperiment(const Options &opt, core::DdpModel model,
     row.model = model;
     row.result = c.run();
     row.lost = row.result.lostAckedWriteKeys;
+    if (rec) {
+        row.traceJson = rec->serialize();
+        row.traceDropped = rec->dropped();
+    }
     return row;
 }
 
@@ -1054,7 +1090,7 @@ main(int argc, char **argv)
                 std::cerr << "running " << core::modelName(models[i])
                           << "...\n";
             }
-            return runExperiment(opt, models[i], trace_ptr);
+            return runExperiment(opt, models[i], trace_ptr, i);
         });
     if (models.size() > 1) {
         std::uint64_t events = 0;
@@ -1072,5 +1108,31 @@ main(int argc, char **argv)
                   << " events/s, " << runner.jobs() << " jobs)\n";
     }
     printRows(opt, rows);
+
+    if (!opt.traceOut.empty()) {
+        std::ofstream out(opt.traceOut, std::ios::binary);
+        if (!out) {
+            std::cerr << "cannot open '" << opt.traceOut
+                      << "' for writing\n";
+            return 1;
+        }
+        std::vector<std::string> fragments;
+        fragments.reserve(rows.size());
+        std::uint64_t dropped = 0;
+        for (Row &r : rows) {
+            fragments.push_back(std::move(r.traceJson));
+            dropped += r.traceDropped;
+        }
+        sim::TraceRecorder::writeFile(out, fragments);
+        if (!out) {
+            std::cerr << "write to '" << opt.traceOut << "' failed\n";
+            return 1;
+        }
+        std::cerr << "wrote timeline to " << opt.traceOut;
+        if (dropped > 0)
+            std::cerr << " (" << dropped
+                      << " events dropped at the per-run cap)";
+        std::cerr << "\n";
+    }
     return 0;
 }

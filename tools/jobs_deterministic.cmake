@@ -1,15 +1,23 @@
-# Byte-compares ddpsim sweep stdout between --jobs 1 and --jobs 8.
+# Byte-compares ddpsim sweep output between --jobs 1 and --jobs 8.
 #
 # Usage:
-#   cmake -DDDPSIM=<path> -DMODE=<sweep|torture> -P jobs_deterministic.cmake
+#   cmake -DDDPSIM=<path> -DMODE=<sweep|torture|trace>
+#         [-DWORKDIR=<dir>] -P jobs_deterministic.cmake
 #
 # Parallel sweeps must be byte-identical to serial execution (DESIGN.md,
 # "Parallel sweeps stay deterministic"): every run owns its EventQueue
 # and RNG streams, and SweepRunner collects results in index order. CSV
-# carries no host-timing fields, so the comparison is exact.
+# carries no host-timing fields, so the comparison is exact. MODE=trace
+# additionally byte-compares the merged --trace-out timeline, whose
+# per-run fragments are serialized on the workers and concatenated in
+# model order.
 
 if(NOT DEFINED DDPSIM OR NOT DEFINED MODE)
-    message(FATAL_ERROR "need -DDDPSIM=<path> and -DMODE=<sweep|torture>")
+    message(FATAL_ERROR
+        "need -DDDPSIM=<path> and -DMODE=<sweep|torture|trace>")
+endif()
+if(NOT DEFINED WORKDIR)
+    set(WORKDIR ${CMAKE_CURRENT_BINARY_DIR})
 endif()
 
 set(common_args
@@ -19,13 +27,20 @@ if(MODE STREQUAL "sweep")
     set(args --all-models ${common_args})
 elseif(MODE STREQUAL "torture")
     set(args --all-models --torture 2 ${common_args})
+elseif(MODE STREQUAL "trace")
+    set(args --all-models ${common_args})
 else()
     message(FATAL_ERROR "unknown MODE '${MODE}'")
 endif()
 
 foreach(jobs 1 8)
+    set(run_args ${args})
+    if(MODE STREQUAL "trace")
+        list(APPEND run_args
+             --trace-out ${WORKDIR}/trace_jobs${jobs}.json)
+    endif()
     execute_process(
-        COMMAND ${DDPSIM} ${args} --jobs ${jobs}
+        COMMAND ${DDPSIM} ${run_args} --jobs ${jobs}
         OUTPUT_VARIABLE out_${jobs}
         ERROR_VARIABLE err_${jobs}
         RESULT_VARIABLE rc_${jobs})
@@ -39,6 +54,24 @@ if(NOT out_1 STREQUAL out_8)
     message(FATAL_ERROR
         "MODE=${MODE}: --jobs 8 stdout differs from --jobs 1 — parallel "
         "sweep broke determinism")
+endif()
+
+if(MODE STREQUAL "trace")
+    foreach(jobs 1 8)
+        file(READ ${WORKDIR}/trace_jobs${jobs}.json trace_${jobs})
+        string(LENGTH "${trace_${jobs}}" trace_bytes_${jobs})
+        if(trace_bytes_${jobs} EQUAL 0)
+            message(FATAL_ERROR
+                "--trace-out wrote an empty file at --jobs ${jobs}")
+        endif()
+    endforeach()
+    if(NOT trace_1 STREQUAL trace_8)
+        message(FATAL_ERROR
+            "--trace-out differs between --jobs 1 and --jobs 8 — "
+            "trace merge broke determinism")
+    endif()
+    message(STATUS "MODE=trace: merged timelines identical "
+                   "(${trace_bytes_1} bytes)")
 endif()
 
 string(LENGTH "${out_1}" bytes)
