@@ -269,6 +269,32 @@ class JsonArrayWriter
         os << '"' << key << "\": " << (v ? "true" : "false");
     }
 
+    /**
+     * Numeric array field, one value per element. NaN/Inf elements
+     * become null (same policy as scalar doubles), keeping the record
+     * parseable whatever the series holds.
+     */
+    void
+    arrayField(const char *key, const std::vector<double> &vs)
+    {
+        sep();
+        os << '"' << key << "\": [";
+        for (std::size_t i = 0; i < vs.size(); ++i) {
+            if (i > 0)
+                os << ", ";
+            if (!std::isfinite(vs[i])) {
+                os << "null";
+                continue;
+            }
+            char buf[40];
+            std::snprintf(buf, sizeof buf, "%.*g",
+                          std::numeric_limits<double>::max_digits10,
+                          vs[i]);
+            os << buf;
+        }
+        os << ']';
+    }
+
     void endRecord() { os << "\n  }"; }
 
     void finish() { os << "\n]\n"; }
@@ -321,6 +347,18 @@ jsonPerfFields(JsonArrayWriter &w, const core::DdpModel &m,
         const cluster::RunResult::PhaseStat &ps = r.phaseBreakdown[p];
         w.field(("phase_" + name + "_mean_ns").c_str(), ps.meanNs);
         w.field(("phase_" + name + "_p95_ns").c_str(), ps.p95Ns);
+    }
+    // Throughput-over-time series (runs with cfg.timelineBucket > 0
+    // only). Downtime buckets are explicit zeros; the SLO field is
+    // null when no crash happened or the SLO was never regained.
+    if (r.timelineBucket > 0) {
+        w.field("timeline_bucket_us",
+                static_cast<double>(r.timelineBucket) /
+                    static_cast<double>(sim::kMicrosecond));
+        w.arrayField("timeline_ops_per_sec", r.timelineRate);
+        w.field("recovery_time_to_slo_us", r.recoveryTimeToSloUs);
+        w.field("served_during_recovery", r.servedDuringRecovery);
+        w.field("recovery_fault_ins", r.recoveryFaultIns);
     }
     // Host-timing fields last and one per line: strip with
     //   grep -vE '"(wall_seconds|events_per_sec)"'

@@ -39,6 +39,12 @@ Cluster::Cluster(const ClusterConfig &config)
         clients.push_back(std::make_unique<Client>(
             *this, *nodes[c % cfg.numServers], c));
     }
+
+    if (cfg.timelineBucket > 0) {
+        ownTimeline =
+            std::make_unique<stats::RateSeries>(cfg.timelineBucket);
+        timeline = ownTimeline.get();
+    }
 }
 
 Cluster::~Cluster() = default;
@@ -98,6 +104,9 @@ Cluster::recordOp(core::OpKind kind, sim::Tick latency,
         (kind == core::OpKind::Read || kind == core::OpKind::Write)) {
         timeline->record(eq.now());
     }
+    if (recoveringCount > 0 &&
+        (kind == core::OpKind::Read || kind == core::OpKind::Write))
+        ++servedDuringRecoveryCount;
     if (!recording)
         return;
     switch (kind) {
@@ -174,6 +183,8 @@ Cluster::crashPartial(const std::vector<net::NodeId> &victims)
     }
 
     std::uint64_t torn_before = ctr.get("torn_persists_detected");
+    if (firstCrashAt == 0)
+        firstCrashAt = eq.now();
 
     // Victims lose volatile state; survivors abandon in-flight
     // exchanges (their rounds reference peers that just died).
@@ -250,15 +261,24 @@ Cluster::crashPartialStaged(const std::vector<net::NodeId> &victims,
     }
 
     std::uint64_t torn_before = ctr.get("torn_persists_detected");
+    if (firstCrashAt == 0)
+        firstCrashAt = eq.now();
 
     // Victims go dark: volatile state lost, NVM recovered in place
     // (torn persists rolled back), and every message to or from them
     // swallowed until restart. Survivors abandon in-flight exchanges
     // and stop waiting for the victims' acknowledgments, so the live
     // replica set keeps completing writes through the downtime.
+    // Instant policy defers the NVM scan instead: the whole key space
+    // goes cold and recovery happens per key on first touch after
+    // re-join.
+    bool instant = cfg.recovery == RecoveryPolicy::Instant;
     for (std::size_t n = 0; n < nodes.size(); ++n) {
         if (crashed[n]) {
-            nodes[n]->crashVolatile();
+            if (instant)
+                nodes[n]->crashVolatileInstant();
+            else
+                nodes[n]->crashVolatile();
             nodes[n]->setDown(true);
         } else {
             nodes[n]->abortInFlight();
@@ -319,8 +339,28 @@ Cluster::crashPartialStaged(const std::vector<net::NodeId> &victims,
     // Clients are deliberately NOT restarted: survivors' clients keep
     // running, and the victims' clients detect the dead coordinator by
     // request timeout and fail over on their own.
-    eq.schedule(eq.now() + restart_after,
-                [this, victims] { restartVictims(victims); });
+    //
+    // Downtime model: a staged node must finish its bulk state
+    // transfer before re-joining, so restart fires after an a-priori
+    // transfer estimate on top of the outage. Instant recovery only
+    // builds a cheap index over the persist image before re-joining;
+    // its extra downtime is that scan alone. The gap between the two
+    // is exactly what the downtime-vs-instant benchmark measures.
+    if (instant) {
+        eq.schedule(eq.now() + restart_after + instantScanTicks(),
+                    [this, victims] { restartVictimsInstant(victims); });
+    } else {
+        std::uint32_t survivors =
+            static_cast<std::uint32_t>(nodes.size()) -
+            static_cast<std::uint32_t>(victims.size());
+        sim::Tick transfer =
+            cfg.network.roundTrip +
+            (cfg.keyCount / std::max(1u, survivors)) *
+                cfg.network.serializationTicks(
+                    64 * std::max(1u, cfg.node.valueLines));
+        eq.schedule(eq.now() + restart_after + transfer,
+                    [this, victims] { restartVictims(victims); });
+    }
 }
 
 void
@@ -401,6 +441,86 @@ Cluster::restartVictims(const std::vector<net::NodeId> &victims)
                 64 * std::max(1u, cfg.node.valueLines));
     recoveryLog.push_back(rs);
     nodeRestartCount += victims.size();
+    if (serviceResumeAt == 0)
+        serviceResumeAt = eq.now();
+
+    // Clients route back to their home coordinators.
+    for (auto &c : clients)
+        c->failback();
+}
+
+sim::Tick
+Cluster::instantScanTicks() const
+{
+    // Building the recovery index is a sequential sweep over per-key
+    // commit records (one cache line each), not a value replay —
+    // modeled at 4 keys per nanosecond of NVM metadata bandwidth.
+    return cfg.keyCount * sim::kNanosecond / 4;
+}
+
+void
+Cluster::restartVictimsInstant(const std::vector<net::NodeId> &victims)
+{
+    if (trace)
+        trace->instant(static_cast<std::uint32_t>(nodes.size()), 0,
+                       "restart_instant", eq.now(), "victims",
+                       victims.size());
+    for (net::NodeId v : victims)
+        nodes[v]->setDown(false);
+    for (auto &node : nodes) {
+        for (net::NodeId v : victims)
+            node->setPeerDown(v, false);
+    }
+
+    // Causal progress transfers at re-join (clock metadata only — a
+    // few words per node, not key data): without it, UPDs depending on
+    // downtime-window writes would buffer forever at the victim.
+    if (cfg.model.consistency == core::Consistency::Causal) {
+        std::vector<bool> returning(nodes.size(), false);
+        for (net::NodeId v : victims)
+            returning[v] = true;
+        core::VectorClock merged(nodes.size());
+        for (std::size_t n = 0; n < nodes.size(); ++n) {
+            if (!returning[n])
+                merged.mergeFrom(nodes[n]->appliedClock());
+        }
+        for (net::NodeId v : victims)
+            nodes[v]->adoptCausalProgress(merged);
+    }
+
+    RecoveryStats rs;
+    rs.restart = true;
+    rs.recoveryTime = instantScanTicks();
+    recoveryLog.push_back(rs);
+    nodeRestartCount += victims.size();
+    recoveringCount += static_cast<std::uint32_t>(victims.size());
+    if (serviceResumeAt == 0)
+        serviceResumeAt = eq.now();
+
+    // Each victim admits requests immediately; cold keys are faulted
+    // in on demand against the freshest live copy, and the background
+    // backfill drains the rest. No convergence audit is needed here:
+    // fault-in max-merges the survivor version with the victim's own
+    // recovered NVM copy, so a faulted key converges by construction.
+    for (net::NodeId v : victims) {
+        nodes[v]->beginInstantRecovery(
+            [this, v](net::KeyId key) {
+                net::Version best{};
+                for (std::uint32_t i = 0; i < rmap.factor(); ++i) {
+                    net::NodeId rep = rmap.replica(key, i);
+                    if (rep == v)
+                        continue;
+                    net::Version vv = nodes[rep]->visibleVersion(key);
+                    if (best < vv)
+                        best = vv;
+                }
+                return best;
+            },
+            [this] {
+                if (recoveringCount > 0)
+                    --recoveringCount;
+            });
+    }
 
     // Clients route back to their home coordinators.
     for (auto &c : clients)
@@ -413,6 +533,8 @@ Cluster::crashNow()
     if (trace)
         trace->instant(static_cast<std::uint32_t>(nodes.size()), 0,
                        "crash", eq.now());
+    if (firstCrashAt == 0)
+        firstCrashAt = eq.now();
     if (cfg.recovery == RecoveryPolicy::SimulatedVoting) {
         // Lose volatile state everywhere, then run the voting recovery
         // as a real message protocol; clients resume when it reports.
@@ -438,6 +560,61 @@ Cluster::crashNow()
                 for (auto &c : clients)
                     c->restartAt(eq.now());
             });
+        return;
+    }
+
+    if (cfg.recovery == RecoveryPolicy::Instant) {
+        // Whole cluster down: every node defers its NVM replay, marks
+        // the key space cold, and re-admits after only the index scan.
+        for (auto &n : nodes)
+            n->crashVolatileInstant();
+        xactTable.clear();
+
+        RecoveryStats rs;
+        rs.recoveryTime = instantScanTicks();
+        // Audit against what recovery *will* serve: the freshest
+        // intact NVM copy across the replica set (the cold-aware
+        // persistedVersion), since fault-in max-merges exactly that.
+        auditEpoch(rs, [this](net::KeyId key) {
+            net::Version best{};
+            for (std::uint32_t i = 0; i < rmap.factor(); ++i) {
+                net::Version v =
+                    nodes[rmap.replica(key, i)]->persistedVersion(key);
+                if (best < v)
+                    best = v;
+            }
+            return best;
+        });
+        recoveryLog.push_back(rs);
+
+        recoveringCount += static_cast<std::uint32_t>(nodes.size());
+        for (std::size_t n = 0; n < nodes.size(); ++n) {
+            net::NodeId self = static_cast<net::NodeId>(n);
+            nodes[n]->beginInstantRecovery(
+                [this, self](net::KeyId key) {
+                    net::Version best{};
+                    for (std::uint32_t i = 0; i < rmap.factor(); ++i) {
+                        net::NodeId rep = rmap.replica(key, i);
+                        if (rep == self)
+                            continue;
+                        net::Version v =
+                            nodes[rep]->persistedVersion(key);
+                        if (best < v)
+                            best = v;
+                    }
+                    return best;
+                },
+                [this] {
+                    if (recoveringCount > 0)
+                        --recoveringCount;
+                });
+        }
+
+        sim::Tick resume = eq.now() + rs.recoveryTime;
+        if (serviceResumeAt == 0)
+            serviceResumeAt = resume;
+        for (auto &c : clients)
+            c->restartAt(resume);
         return;
     }
 
@@ -640,6 +817,54 @@ Cluster::run()
         }
     }
     std::sort(res.unreachableNodes.begin(), res.unreachableNodes.end());
+
+    // Throughput-over-time series + recovery SLO (cluster-owned
+    // timeline only; an externally attached series stays external).
+    if (ownTimeline) {
+        // Materialize every bucket of the run, so crash downtime and a
+        // quiet tail appear as explicit zero samples.
+        ownTimeline->extendTo(cfg.warmup + cfg.measure - 1);
+        res.timelineBucket = cfg.timelineBucket;
+        res.timelineRate.reserve(ownTimeline->buckets());
+        for (std::size_t i = 0; i < ownTimeline->buckets(); ++i)
+            res.timelineRate.push_back(ownTimeline->rateAt(i));
+        if (firstCrashAt > 0) {
+            // Pre-crash baseline: mean rate over buckets fully inside
+            // [warmup, firstCrashAt) — warmup ramp and the crash
+            // bucket itself are both excluded.
+            double sum = 0.0;
+            std::size_t n = 0;
+            for (std::size_t i = 0; i < ownTimeline->buckets(); ++i) {
+                if (ownTimeline->bucketStart(i) < cfg.warmup)
+                    continue;
+                if (ownTimeline->bucketStart(i) + cfg.timelineBucket >
+                    firstCrashAt)
+                    break;
+                sum += ownTimeline->rateAt(i);
+                ++n;
+            }
+            if (n > 0) {
+                double slo =
+                    cfg.recoverySloFrac * (sum / static_cast<double>(n));
+                for (std::size_t i = 0; i < ownTimeline->buckets();
+                     ++i) {
+                    if (ownTimeline->bucketStart(i) <= firstCrashAt)
+                        continue;
+                    if (ownTimeline->rateAt(i) >= slo) {
+                        res.recoveryTimeToSloUs =
+                            static_cast<double>(
+                                ownTimeline->bucketStart(i) -
+                                firstCrashAt) /
+                            static_cast<double>(sim::kMicrosecond);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    res.servedDuringRecovery = servedDuringRecoveryCount;
+    res.recoveryFaultIns = ctr.get("recovery_fault_ins");
+    res.counters["recovery_fault_ins"] = res.recoveryFaultIns;
 
     if (checker) {
         res.monotonicViolations = checker->monotonicViolations();

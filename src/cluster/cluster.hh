@@ -164,6 +164,10 @@ class Cluster
     void crashPartialStaged(const std::vector<net::NodeId> &victims,
                             sim::Tick restart_after);
     void restartVictims(const std::vector<net::NodeId> &victims);
+    /** Instant-mode re-join: admit at once, fault in on demand. */
+    void restartVictimsInstant(const std::vector<net::NodeId> &victims);
+    /** Index-build downtime of an instant restart (cheap scan). */
+    sim::Tick instantScanTicks() const;
     RecoveryStats recoverAll();
     /** Audit acked-write durability for one crash epoch. */
     void auditEpoch(RecoveryStats &rs,
@@ -181,6 +185,8 @@ class Cluster
     std::vector<std::unique_ptr<Client>> clients;
     core::PropertyChecker *checker = nullptr;
     stats::RateSeries *timeline = nullptr;
+    /** Cluster-owned timeline when cfg.timelineBucket > 0. */
+    std::unique_ptr<stats::RateSeries> ownTimeline;
     net::MessageTracer *tracerPtr = nullptr;
     sim::TraceRecorder *trace = nullptr;
 
@@ -199,6 +205,15 @@ class Cluster
     std::uint64_t xactAbandonedCount = 0;
     std::uint64_t nodeRestartCount = 0;
     std::uint64_t convergenceFailTotal = 0;
+    /** First injected crash (0 = none); anchors recovery-SLO timing. */
+    sim::Tick firstCrashAt = 0;
+    /** When post-crash service resumed (instant re-join or client
+     *  restart); the SLO scan starts here. */
+    sim::Tick serviceResumeAt = 0;
+    /** Nodes currently in instant recovery (fault-in/backfill). */
+    std::uint32_t recoveringCount = 0;
+    /** Read/write completions while recoveringCount > 0. */
+    std::uint64_t servedDuringRecoveryCount = 0;
     bool ran = false;
 };
 

@@ -41,6 +41,15 @@ enum class RecoveryPolicy
      * emerges from network and processing timing.
      */
     SimulatedVoting,
+    /**
+     * MM-DIRECT-style instant recovery: a restarting node builds a
+     * cheap index over its PersistImage instead of replaying it,
+     * re-joins immediately, and admits requests at once — cold keys
+     * are faulted in on demand (checksum-verified through the commit-
+     * record rollback path) while a background backfill drains the
+     * rest. Requires commit records for multi-line values.
+     */
+    Instant,
 };
 
 /** Everything an experiment needs to build and run a cluster. */
@@ -119,6 +128,21 @@ struct ClusterConfig
     RecoveryPolicy recovery = RecoveryPolicy::Voting;
     /** Keys per recovery query batch (SimulatedVoting). */
     std::uint32_t recoveryBatch = 1024;
+
+    /**
+     * Completion-rate timeline bucket width; 0 (default) disables the
+     * cluster-owned throughput-over-time series. When > 0 the run
+     * records every read/write completion into fixed buckets covering
+     * the whole run (downtime shows as explicit zero samples) and
+     * RunResult carries the series plus recovery_time_to_slo_us.
+     */
+    sim::Tick timelineBucket = 0;
+    /**
+     * Recovery SLO: fraction of the pre-crash throughput baseline the
+     * post-restart rate must regain for recovery_time_to_slo_us; in
+     * (0, 1].
+     */
+    double recoverySloFrac = 0.9;
 
     std::uint64_t seed = 1;
 

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -142,6 +143,26 @@ struct RunResult
     std::uint64_t recoveryQuorumFailures = 0;
     /** Nodes some recovery declared unreachable (sorted, deduped). */
     std::vector<net::NodeId> unreachableNodes;
+
+    // --- Throughput-over-time series (cfg.timelineBucket > 0 only) ---------
+    /** Completion rate (ops/sec) per bucket over the whole run,
+     *  including warmup; empty when the timeline was disabled. Buckets
+     *  with no completions (e.g. crash downtime) are explicit zeros. */
+    std::vector<double> timelineRate;
+    /** Bucket width of timelineRate; 0 = timeline disabled. */
+    sim::Tick timelineBucket = 0;
+    /**
+     * Microseconds from the first crash until throughput first
+     * regained cfg.recoverySloFrac of the pre-crash baseline (bucket
+     * granularity). NaN when no crash was injected, the timeline was
+     * off, or the SLO was never regained — serialized as JSON null.
+     */
+    double recoveryTimeToSloUs =
+        std::numeric_limits<double>::quiet_NaN();
+    /** Read/write completions while a node was instant-recovering. */
+    std::uint64_t servedDuringRecovery = 0;
+    /** On-demand fault-ins instant recovery performed (whole run). */
+    std::uint64_t recoveryFaultIns = 0;
 
     // --- Simulator throughput (whole run, host-side) -----------------------
     /** Simulated events the run's EventQueue executed, start to end. */

@@ -154,7 +154,8 @@ ProtocolNode::noteVersion(KeyId key, Version ver)
 }
 
 bool
-ProtocolNode::waiterSatisfied(const KeyReplica &kr, const Waiter &w) const
+ProtocolNode::waiterSatisfied(KeyId key, const KeyReplica &kr,
+                              const Waiter &w) const
 {
     switch (w.kind) {
       case Waiter::Kind::KeyValid:
@@ -165,6 +166,8 @@ ProtocolNode::waiterSatisfied(const KeyReplica &kr, const Waiter &w) const
         return kr.globalPersistVer >= w.ver;
       case Waiter::Kind::LocalPersist:
         return kr.persistedVer >= w.ver;
+      case Waiter::Kind::KeyWarm:
+        return !keyCold(key);
     }
     return true;
 }
@@ -179,7 +182,7 @@ ProtocolNode::wakeWaiters(KeyId key)
     std::vector<Waiter> ready;
     still.reserve(kr.waiters.size());
     for (auto &w : kr.waiters) {
-        if (waiterSatisfied(kr, w))
+        if (waiterSatisfied(key, kr, w))
             ready.push_back(std::move(w));
         else
             still.push_back(std::move(w));
@@ -386,6 +389,13 @@ ProtocolNode::startKeyPersist(KeyId key, Version ver, bool arrival_order,
     // landing leaves a torn copy in the medium, which recovery must
     // detect. The lines issue in parallel (they map to different
     // banks); the commit record only once all of them are durable.
+    //
+    // Instant recovery: if the crash froze a persist of this key
+    // mid-flight, the verified scan must judge that staging before a
+    // new beginWrite overwrites the evidence — otherwise a torn copy
+    // would vanish uncounted.
+    if (!staleStaging.empty())
+        settleStaleStaging(key);
     image.beginWrite(key, ver);
     auto remaining = std::make_shared<std::uint32_t>(cfg.valueLines);
     for (std::uint32_t i = 0; i < cfg.valueLines; ++i) {
@@ -509,6 +519,21 @@ ProtocolNode::execRead(KeyId key, std::shared_ptr<ReadCtx> rc)
     }
 
     KeyReplica &kr = keyState(key);
+
+    // Instant recovery: the durable image of this key has not been
+    // scanned yet. Park until the on-demand fault-in warms it — a torn
+    // or lost-suffix value must never be served.
+    if (keyCold(key)) {
+        ctr.add("reads_stalled_recovery");
+        kr.waiters.push_back({Waiter::Kind::KeyWarm, Version{},
+                              [this, key, rc] { execRead(key, rc); },
+                              eq.now(), &rc->acc,
+                              sim::Phase::RecoveryStall});
+        if (keyTemp[key] == KeyTemp::Cold)
+            startFaultIn(key);
+        return;
+    }
+
     const Consistency c = cfg.model.consistency;
     const Persistency p = cfg.model.persistency;
 
@@ -747,6 +772,21 @@ ProtocolNode::execWrite(KeyId key, std::shared_ptr<WriteCtx> wc)
             });
             return;
         }
+    }
+
+    // Instant recovery: a cold key's durable baseline (and any
+    // fresher version the live peers hold) is unknown until fault-in
+    // — admit the write only after it lands, so the new version is
+    // ordered against what actually survived the crash.
+    if (keyCold(key)) {
+        ctr.add("writes_stalled_recovery");
+        keyState(key).waiters.push_back(
+            {Waiter::Kind::KeyWarm, Version{},
+             [this, key, wc] { execWrite(key, wc); }, eq.now(),
+             &wc->acc, sim::Phase::RecoveryStall});
+        if (keyTemp[key] == KeyTemp::Cold)
+            startFaultIn(key);
+        return;
     }
 
     switch (cfg.model.consistency) {
@@ -2038,6 +2078,24 @@ ProtocolNode::abortInFlight()
         kr.hasPendingPersist = false;
         kr.pendingObligations.clear();
     }
+
+    // A survivor still backfilling when another node crashes: the
+    // epoch bump just killed its in-flight fault-in completions and
+    // the backfill timer. Demote Faulting keys back to Cold (their
+    // NVM reads are dead) and re-arm the backfill under the new epoch;
+    // coldRemaining is unchanged since Faulting still counted as cold.
+    if (instantActive) {
+        bool demoted = false;
+        for (KeyId key = 0; key < keyTemp.size(); ++key) {
+            if (keyTemp[key] == KeyTemp::Faulting) {
+                keyTemp[key] = KeyTemp::Cold;
+                demoted = true;
+            }
+        }
+        if (demoted)
+            backfillCursor = 0; // demoted keys may lie behind it
+        scheduleBackfill(cfg.instantBackfillInterval);
+    }
 }
 
 void
@@ -2079,6 +2137,212 @@ ProtocolNode::crashVolatile()
         else
             backend->erase(key);
     }
+}
+
+void
+ProtocolNode::crashVolatileInstant()
+{
+    // Instant recovery's lazy scan leans on commit records: the intact
+    // version a cold-aware getter reports must be exactly what a full
+    // recover() would settle on, which only holds when recovery never
+    // installs a staged (possibly torn) copy. The ablation is rejected
+    // at the CLI; keep the invariant visible here too.
+    assert((cfg.commitRecords || cfg.valueLines == 1) &&
+           "instant recovery requires commit records");
+
+    // If a previous instant recovery is still draining, drop it first
+    // so abortInFlight() below does not re-arm its backfill timer; the
+    // fresh crash re-snapshots everything anyway.
+    instantActive = false;
+    recoveryDoneFn = nullptr;
+    freshestFn = nullptr;
+
+    abortInFlight();
+    hierarchy.crash();
+    image.crash();
+    clientSeqSeen.clear();
+
+    // Defer the durable-image scan (MM-DIRECT): remember which keys
+    // had a persist frozen mid-flight and mark the whole key space
+    // cold. The per-key verified scan (recoverOnDemand) runs lazily at
+    // the first post-crash touch — request fault-in, backfill, or a
+    // new persist of the same key.
+    std::vector<KeyId> frozen = image.inflightKeys();
+    staleStaging.clear();
+    staleStaging.insert(frozen.begin(), frozen.end());
+    keyTemp.assign(keys.size(), KeyTemp::Cold);
+    coldRemaining = keys.size();
+    backfillCursor = 0;
+    instantActive = true;
+
+    // The volatile copies are gone; until a key is faulted in the
+    // cold-aware getters substitute the durable image's intact
+    // version. maxSeen survives as the version allocator's seed, the
+    // same convention crashVolatile() follows.
+    for (auto &kr : keys) {
+        kr.volatileVer = Version{};
+        kr.persistedVer = Version{};
+        kr.globalPersistVer = Version{};
+    }
+    backend->clear();
+}
+
+void
+ProtocolNode::beginInstantRecovery(
+    std::function<Version(KeyId)> freshest, std::function<void()> done)
+{
+    assert(instantActive &&
+           "beginInstantRecovery needs crashVolatileInstant first");
+    freshestFn = std::move(freshest);
+    recoveryDoneFn = std::move(done);
+    ctr.add("instant_recoveries_started");
+    if (coldRemaining == 0) {
+        finishInstantRecovery();
+        return;
+    }
+    scheduleBackfill(cfg.instantBackfillInterval);
+}
+
+Version
+ProtocolNode::settleStaleStaging(KeyId key)
+{
+    auto it = staleStaging.find(key);
+    if (it == staleStaging.end())
+        return image.intactVersion(key);
+    staleStaging.erase(it);
+    mem::PersistImage::Recovered rec = image.recoverOnDemand(key);
+    if (rec.tornDetected) {
+        ctr.add("torn_persists_detected");
+        if (sink)
+            sink->onTornDetected(self, key, rec.version);
+    }
+    if (rec.uncommittedRollback)
+        ctr.add("uncommitted_persists_rolled_back");
+    if (rec.tornInstalled) {
+        ctr.add("torn_values_installed");
+        if (sink)
+            sink->onTornInstall(self, key, rec.version);
+    }
+    return rec.version;
+}
+
+sim::Tick
+ProtocolNode::startFaultIn(KeyId key)
+{
+    assert(instantActive && keyTemp[key] == KeyTemp::Cold);
+    keyTemp[key] = KeyTemp::Faulting;
+    ctr.add("recovery_fault_ins");
+    // Pull every line of the value from NVM; the commit record rides
+    // the same scan. Lines map to different banks and read in
+    // parallel, so the fault-in completes when the slowest one does.
+    sim::Tick done_at = eq.now();
+    for (std::uint32_t i = 0; i < cfg.valueLines; ++i) {
+        sim::Tick t = nvmDev.read(eq.now(), addrOf(key) + 64ull * i);
+        if (t > done_at)
+            done_at = t;
+    }
+    std::uint32_t ep = currentEpoch;
+    eq.schedule(done_at, [this, ep, key] {
+        if (ep != currentEpoch)
+            return; // raced another crash; abortInFlight demoted us
+        completeFaultIn(key);
+    });
+    return done_at;
+}
+
+void
+ProtocolNode::completeFaultIn(KeyId key)
+{
+    assert(instantActive && keyTemp[key] == KeyTemp::Faulting);
+    // Checksum-verified local load (rolls torn staging back to the
+    // last intact copy), then merge in the freshest version the live
+    // peers hold — the per-key slice of recovery state transfer.
+    Version best = settleStaleStaging(key);
+    if (freshestFn) {
+        Version peer = freshestFn(key);
+        if (best < peer)
+            best = peer;
+    }
+    installFaulted(key, best);
+    keyTemp[key] = KeyTemp::Warm;
+    assert(coldRemaining > 0);
+    --coldRemaining;
+    wakeWaiters(key);
+    if (coldRemaining == 0)
+        finishInstantRecovery();
+}
+
+void
+ProtocolNode::installFaulted(KeyId key, Version ver)
+{
+    // Monotone install: catch-up INVs/VALs/UPDs may already have
+    // advanced the cold key past its durable baseline — the fault-in
+    // must never regress what post-restart traffic established.
+    KeyReplica &kr = keyState(key);
+    noteVersion(key, ver);
+    if (kr.volatileVer < ver) {
+        kr.volatileVer = ver;
+        if (ver.number > 0)
+            backend->put(key, ver.number);
+    }
+    if (kr.persistedVer < ver)
+        kr.persistedVer = ver;
+    if (kr.globalPersistVer < ver)
+        kr.globalPersistVer = ver;
+    if (image.intactVersion(key) < ver)
+        image.installCommitted(key, ver);
+}
+
+void
+ProtocolNode::scheduleBackfill(sim::Tick delay)
+{
+    if (!instantActive || coldRemaining == 0 ||
+        backfillCursor >= keys.size())
+        return;
+    std::uint32_t ep = currentEpoch;
+    eq.scheduleIn(delay, [this, ep] {
+        if (ep != currentEpoch || !instantActive)
+            return;
+        // Fault in the next batch of still-cold keys. Keys the request
+        // stream already touched are Faulting or Warm and skip for
+        // free — on-demand traffic effectively prioritizes hot keys
+        // ahead of this cursor.
+        std::uint32_t batch = 0;
+        sim::Tick batch_done = eq.now();
+        while (batch < cfg.instantBackfillBatch &&
+               backfillCursor < keys.size()) {
+            KeyId key = backfillCursor++;
+            if (keyTemp[key] != KeyTemp::Cold)
+                continue;
+            sim::Tick t = startFaultIn(key);
+            if (t > batch_done)
+                batch_done = t;
+            ++batch;
+        }
+        // Flow control: the next round waits for this batch's NVM
+        // reads to drain plus the configured pause. Without it a
+        // multi-line backfill can outrun the device's service rate,
+        // and demand fault-ins queue behind an ever-growing backlog.
+        scheduleBackfill(batch_done - eq.now() +
+                         cfg.instantBackfillInterval);
+    });
+}
+
+void
+ProtocolNode::finishInstantRecovery()
+{
+    if (!instantActive)
+        return;
+    instantActive = false;
+    keyTemp.clear();
+    keyTemp.shrink_to_fit();
+    staleStaging.clear();
+    freshestFn = nullptr;
+    ctr.add("instant_recoveries_completed");
+    auto done = std::move(recoveryDoneFn);
+    recoveryDoneFn = nullptr;
+    if (done)
+        done();
 }
 
 void
@@ -2182,13 +2446,27 @@ ProtocolNode::noteClientSeq(std::uint32_t client, std::uint64_t seq)
 Version
 ProtocolNode::visibleVersion(KeyId key) const
 {
-    return keyState(key).volatileVer;
+    // A cold key's volatile copy was wiped by the instant crash but
+    // its durable intact version is recoverable on demand; report the
+    // stronger of the two so recovery hooks and durability audits see
+    // what a fault-in would establish.
+    const KeyReplica &kr = keyState(key);
+    if (keyCold(key)) {
+        Version intact = image.intactVersion(key);
+        return kr.volatileVer < intact ? intact : kr.volatileVer;
+    }
+    return kr.volatileVer;
 }
 
 Version
 ProtocolNode::persistedVersion(KeyId key) const
 {
-    return keyState(key).persistedVer;
+    const KeyReplica &kr = keyState(key);
+    if (keyCold(key)) {
+        Version intact = image.intactVersion(key);
+        return kr.persistedVer < intact ? intact : kr.persistedVer;
+    }
+    return kr.persistedVer;
 }
 
 } // namespace ddp::core

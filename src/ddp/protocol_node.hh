@@ -150,6 +150,16 @@ struct NodeParams
     /** Persist laziness of Eventual persistency. */
     sim::Tick lazyPersistDelay = 5 * sim::kMicrosecond;
 
+    /**
+     * Instant recovery (MM-DIRECT style): keys the background backfill
+     * faults in per batch, and the interval between batches. The
+     * request stream effectively prioritizes hot keys ahead of the
+     * cursor because an on-demand fault-in warms a key before the
+     * backfill reaches it.
+     */
+    std::uint32_t instantBackfillBatch = 64;
+    sim::Tick instantBackfillInterval = 2 * sim::kMicrosecond;
+
     mem::MemoryParams nvmParams = mem::MemoryParams::nvm();
     mem::MemoryParams dramParams = mem::MemoryParams::dram();
     mem::CacheHierarchyParams cacheParams =
@@ -199,6 +209,34 @@ class ProtocolNode
      * are discarded.
      */
     void crashVolatile();
+
+    /**
+     * Lose all volatile state like crashVolatile(), but *defer* the
+     * durable-image scan: instead of replaying recover() over every
+     * key, mark the whole key space cold and remember which keys had a
+     * persist frozen in flight. Cold keys are faulted in on demand
+     * (recoverOnDemand, checksum-verified) when a request or the
+     * background backfill first touches them after the node re-joins
+     * via beginInstantRecovery().
+     */
+    void crashVolatileInstant();
+
+    /**
+     * Re-join after crashVolatileInstant(): admit requests at once,
+     * fault cold keys in on demand, and start the background backfill
+     * that drains the rest of the image. @p freshest, when set, is
+     * consulted per faulted key for the freshest version the live
+     * peers hold (state transfer merged into the fault-in); @p done
+     * fires when the last cold key has warmed.
+     */
+    void beginInstantRecovery(
+        std::function<net::Version(net::KeyId)> freshest,
+        std::function<void()> done);
+
+    /** True between beginInstantRecovery() and backfill completion. */
+    bool instantRecovering() const { return instantActive; }
+    /** Cold keys the backfill has not yet faulted in. */
+    std::uint64_t coldKeysRemaining() const { return coldRemaining; }
 
     /**
      * Abandon all in-flight protocol state (rounds, buffered updates,
@@ -307,6 +345,7 @@ class ProtocolNode
             WriteSlot,     ///< writes: no local pending write either
             GlobalPersist, ///< globalPersistVer >= ver
             LocalPersist,  ///< persistedVer >= ver
+            KeyWarm,       ///< instant recovery: key faulted in
         };
         Kind kind;
         net::Version ver;
@@ -428,7 +467,31 @@ class ProtocolNode
     void noteVersion(net::KeyId key, net::Version ver);
 
     void wakeWaiters(net::KeyId key);
-    bool waiterSatisfied(const KeyReplica &kr, const Waiter &w) const;
+    bool waiterSatisfied(net::KeyId key, const KeyReplica &kr,
+                         const Waiter &w) const;
+
+    // Instant recovery (MM-DIRECT style on-demand fault-in).
+    enum class KeyTemp : std::uint8_t
+    {
+        Warm,     ///< faulted in (or never cold); serves normally
+        Cold,     ///< durable image not yet scanned for this key
+        Faulting, ///< on-demand NVM load in flight
+    };
+    bool keyCold(net::KeyId key) const
+    {
+        return instantActive && keyTemp[key] != KeyTemp::Warm;
+    }
+    /** Consume crash-frozen staging for @p key if any (verified scan);
+     *  returns the version the durable image settles on. */
+    net::Version settleStaleStaging(net::KeyId key);
+    /** Issue the NVM reads for one fault-in; returns the completion
+     *  tick (when the slowest line arrives). */
+    sim::Tick startFaultIn(net::KeyId key);
+    void completeFaultIn(net::KeyId key);
+    void installFaulted(net::KeyId key, net::Version ver);
+    /** Arm the next background-backfill round after @p delay. */
+    void scheduleBackfill(sim::Tick delay);
+    void finishInstantRecovery();
 
     /** Charge local cache/store access; returns extra local latency. */
     sim::Tick chargeLocalAccess(net::KeyId key, bool is_write);
@@ -556,6 +619,22 @@ class ProtocolNode
 
     /** Durable medium image: commit records + torn-persist tracking. */
     mem::PersistImage image;
+
+    // --- Instant-recovery state -------------------------------------------
+    /** True between beginInstantRecovery() and backfill completion. */
+    bool instantActive = false;
+    /** Per-key temperature; sized keyCount only while recovering. */
+    std::vector<KeyTemp> keyTemp;
+    /** Cold keys left (Faulting counts as cold until installed). */
+    std::uint64_t coldRemaining = 0;
+    /** Keys whose multi-line persist the crash froze mid-flight; their
+     *  staging is consumed lazily by the first post-crash touch. */
+    std::set<net::KeyId> staleStaging;
+    /** Freshest version live peers hold, per key (state transfer). */
+    std::function<net::Version(net::KeyId)> freshestFn;
+    std::function<void()> recoveryDoneFn;
+    /** Next key the background backfill will examine. */
+    net::KeyId backfillCursor = 0;
 
     /** True while crashed-but-not-restarted (drops all traffic). */
     bool downFlag = false;

@@ -1,5 +1,6 @@
 #include "mem/persist_image.hh"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ddp::mem {
@@ -169,6 +170,24 @@ PersistImage::recover(net::KeyId key)
         ki.intact = out.version;
         ki.everWritten = true;
     }
+    return out;
+}
+
+PersistImage::Recovered
+PersistImage::recoverOnDemand(net::KeyId key)
+{
+    ++onDemandCount;
+    return recover(key);
+}
+
+std::vector<net::KeyId>
+PersistImage::inflightKeys() const
+{
+    std::vector<net::KeyId> out;
+    out.reserve(inflight.size());
+    for (const auto &[key, s] : inflight)
+        out.push_back(key);
+    std::sort(out.begin(), out.end());
     return out;
 }
 

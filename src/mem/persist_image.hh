@@ -116,6 +116,21 @@ class PersistImage
      */
     Recovered recover(net::KeyId key);
 
+    /**
+     * Instant recovery's single-key verified load: identical scan and
+     * rollback semantics to recover(), but tallied separately so a run
+     * can report how much of the image was faulted in on demand rather
+     * than replayed up front.
+     */
+    Recovered recoverOnDemand(net::KeyId key);
+
+    /**
+     * Keys whose multi-line persist was in flight (frozen by crash()),
+     * sorted ascending so instant recovery's snapshot of suspect keys
+     * is deterministic regardless of hash-map iteration order.
+     */
+    std::vector<net::KeyId> inflightKeys() const;
+
     /** Version the commit record points at (last intact copy). */
     net::Version intactVersion(net::KeyId key) const;
 
@@ -136,6 +151,7 @@ class PersistImage
     std::uint64_t tornDetected() const { return tornDetectedCount; }
     std::uint64_t tornInstalls() const { return tornInstallCount; }
     std::uint64_t uncommittedRollbacks() const { return uncommittedCount; }
+    std::uint64_t onDemandLoads() const { return onDemandCount; }
 
   private:
     struct Staging
@@ -162,6 +178,7 @@ class PersistImage
     std::uint64_t tornDetectedCount = 0;
     std::uint64_t tornInstallCount = 0;
     std::uint64_t uncommittedCount = 0;
+    std::uint64_t onDemandCount = 0;
 };
 
 } // namespace ddp::mem

@@ -43,9 +43,11 @@ enum class Phase : std::uint8_t
     Replication,
     /** Waiting for the commit point at transaction end. */
     XactCommit,
+    /** Parked during instant recovery until the key was faulted in. */
+    RecoveryStall,
 };
 
-inline constexpr std::size_t kPhaseCount = 8;
+inline constexpr std::size_t kPhaseCount = 9;
 
 /** Stable lower-case label (JSON field suffixes, trace names). */
 constexpr const char *
@@ -60,6 +62,7 @@ phaseName(Phase p)
       case Phase::ConflictRetry: return "conflict_retry";
       case Phase::Replication: return "replication";
       case Phase::XactCommit: return "xact_commit";
+      case Phase::RecoveryStall: return "recovery_stall";
     }
     return "unknown";
 }

@@ -89,6 +89,21 @@ class RateSeries
         return best;
     }
 
+    /**
+     * Materialize (zero-filled) buckets up to and including the one
+     * covering @p until. Buckets are otherwise created lazily on
+     * record(), so a window with no completions — e.g. the downtime
+     * after a crash, or the tail of the run — would be missing rather
+     * than zero; plots over the series need those explicit zeros.
+     */
+    void
+    extendTo(sim::Tick until)
+    {
+        std::size_t idx = static_cast<std::size_t>(until / bucketWidth);
+        if (idx >= counts.size())
+            counts.resize(idx + 1, 0);
+    }
+
     void
     clear()
     {

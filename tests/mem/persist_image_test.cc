@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "mem/persist_image.hh"
 
 using ddp::mem::PersistImage;
@@ -216,6 +218,71 @@ TEST(PersistImage, InstallDoesNotCancelInflightStaging)
     img.commitWrite(0);
     EXPECT_EQ(img.intactVersion(0), v(9));
     EXPECT_FALSE(img.writing(0));
+}
+
+TEST(PersistImage, OnDemandRecoveryMatchesFullReplay)
+{
+    // Instant recovery's on-demand fault-in must judge a torn staging
+    // slot exactly as an eager full replay would: same version, same
+    // torn verdict, byte-for-byte identical rollback target. Build two
+    // identical images — one recovered eagerly, one on demand.
+    auto build = [] {
+        PersistImage img(4, 4, true);
+        // Committed predecessor, then a crash mid-persist of v9: two
+        // of four lines durable.
+        img.atomicPersist(2, v(3));
+        img.beginWrite(2, v(9));
+        img.lineWritten(2);
+        img.lineWritten(2);
+        img.crash();
+        return img;
+    };
+
+    PersistImage eager = build();
+    PersistImage lazy = build();
+
+    PersistImage::Recovered full = eager.recover(2);
+    PersistImage::Recovered demand = lazy.recoverOnDemand(2);
+
+    EXPECT_EQ(demand.version, full.version);
+    EXPECT_EQ(demand.version, v(3)) << "both must roll back to v3";
+    EXPECT_EQ(demand.tornDetected, full.tornDetected);
+    EXPECT_TRUE(demand.tornDetected);
+    EXPECT_EQ(demand.uncommittedRollback, full.uncommittedRollback);
+    EXPECT_EQ(demand.tornInstalled, full.tornInstalled);
+
+    // The post-rollback durable state is identical: same intact
+    // version, same checksum over the intact slot.
+    EXPECT_EQ(lazy.intactVersion(2), eager.intactVersion(2));
+    EXPECT_EQ(lazy.checksumOf(lazy.intactVersion(2)),
+              eager.checksumOf(eager.intactVersion(2)));
+    EXPECT_EQ(lazy.tornDetected(), eager.tornDetected());
+
+    // On-demand loads are tallied separately (instant-recovery stat);
+    // the eager path leaves the counter untouched.
+    EXPECT_EQ(lazy.onDemandLoads(), 1u);
+    EXPECT_EQ(eager.onDemandLoads(), 0u);
+}
+
+TEST(PersistImage, InflightKeysSnapshotsStagingSortedWithoutConsuming)
+{
+    // crashVolatileInstant() snapshots the crash-frozen staging set to
+    // judge lazily; the listing must be sorted (determinism) and must
+    // not consume the staging evidence.
+    PersistImage img(8, 4, true);
+    img.beginWrite(5, v(2));
+    img.lineWritten(5);
+    img.beginWrite(1, v(3));
+    img.lineWritten(1);
+    img.crash();
+
+    std::vector<ddp::net::KeyId> keys = img.inflightKeys();
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], 1u);
+    EXPECT_EQ(keys[1], 5u);
+    // Evidence intact: both tears are still detected afterwards.
+    EXPECT_TRUE(img.recoverOnDemand(1).tornDetected);
+    EXPECT_TRUE(img.recoverOnDemand(5).tornDetected);
 }
 
 TEST(PersistImage, ChecksumMatchesOnlyFullCopies)

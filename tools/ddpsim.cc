@@ -81,6 +81,16 @@ struct Options
     std::optional<std::pair<std::uint64_t, std::uint64_t>> partitionUs;
     std::string recovery = "voting";
 
+    // Instant recovery + downtime-vs-instant benchmark.
+    /** Throughput-timeline bucket width; 0 = timeline off. */
+    std::uint64_t timelineBucketUs = 0;
+    /** Recovery SLO as a fraction of pre-crash throughput, in (0,1]. */
+    double recoverySloFrac = 0.9;
+    /** Keys per instant-recovery backfill round; 0 = default. */
+    std::uint32_t backfillBatch = 0;
+    /** Pause between backfill rounds; 0 = default. */
+    std::uint64_t backfillIntervalUs = 0;
+
     // Crash-point torture + partial crash/restart (robustness PR).
     /** Nodes a partial crash takes down (with --crash-at-us or
      *  --torture); empty optional = full-system crash. */
@@ -152,9 +162,25 @@ usage(std::ostream &os)
           "  --xact-max-attempts N  attempts per transaction batch\n"
           "                      before the client abandons it\n"
           "                      (default 64)\n"
-          "  --recovery R        voting | local | simulated —\n"
+          "  --recovery R        voting | local | simulated | instant —\n"
           "                      post-crash recovery policy\n"
-          "                      (default voting)\n\n"
+          "                      (default voting). instant re-joins\n"
+          "                      after only an index scan and faults\n"
+          "                      cold keys in on demand; requires\n"
+          "                      commit records\n"
+          "  --timeline-bucket-us N  record a throughput-over-time\n"
+          "                      series with N-us buckets (JSON output\n"
+          "                      gains timeline_ops_per_sec and\n"
+          "                      recovery_time_to_slo_us; downtime\n"
+          "                      shows as explicit zero samples);\n"
+          "                      0 = off (default)\n"
+          "  --recovery-slo-frac F  fraction of the pre-crash\n"
+          "                      throughput baseline that counts as\n"
+          "                      recovered, in (0, 1] (default 0.9)\n"
+          "  --backfill-batch N  keys per instant-recovery background\n"
+          "                      backfill round (default 64)\n"
+          "  --backfill-interval-us N  pause between backfill rounds\n"
+          "                      (default 2)\n\n"
           "torture sweep:\n"
           "  --torture N         crash-point torture: re-run the seeded\n"
           "                      workload crashing at N points per\n"
@@ -444,12 +470,29 @@ parseArgs(int argc, char **argv, Options &opt)
                 return bad("positive integer");
         } else if (flag == "--recovery") {
             if (val != "voting" && val != "local" &&
-                val != "simulated") {
+                val != "simulated" && val != "instant") {
                 std::cerr << "unknown recovery policy '" << val
-                          << "'\n";
+                          << "' (want voting | local | simulated | "
+                             "instant)\n";
                 return false;
             }
             opt.recovery = val;
+        } else if (flag == "--timeline-bucket-us") {
+            if (!parseU64(val, opt.timelineBucketUs) ||
+                opt.timelineBucketUs == 0)
+                return bad("positive integer");
+        } else if (flag == "--recovery-slo-frac") {
+            if (!parseDouble(val, opt.recoverySloFrac) ||
+                opt.recoverySloFrac <= 0.0 || opt.recoverySloFrac > 1.0)
+                return bad("fraction in (0, 1]");
+        } else if (flag == "--backfill-batch") {
+            if (!parseU32(val, opt.backfillBatch) ||
+                opt.backfillBatch == 0)
+                return bad("positive integer");
+        } else if (flag == "--backfill-interval-us") {
+            if (!parseU64(val, opt.backfillIntervalUs) ||
+                opt.backfillIntervalUs == 0)
+                return bad("positive integer");
         } else if (flag == "--drop-rate") {
             if (!parseProb(val, opt.dropRate))
                 return bad("probability in [0, 1]");
@@ -561,6 +604,13 @@ parseArgs(int argc, char **argv, Options &opt)
                   << opt.warmupUs + opt.measureUs << " us)\n";
         return false;
     }
+    if (opt.recovery == "instant" && !opt.commitRecords) {
+        std::cerr << "--recovery=instant requires commit records: "
+                     "on-demand fault-in must tell torn from committed "
+                     "values by checksum, which the --no-commit-records "
+                     "ablation removes\n";
+        return false;
+    }
     return true;
 }
 
@@ -609,8 +659,18 @@ makeConfig(const Options &opt, core::DdpModel model)
         cfg.recovery = cluster::RecoveryPolicy::LocalOnly;
     else if (opt.recovery == "simulated")
         cfg.recovery = cluster::RecoveryPolicy::SimulatedVoting;
+    else if (opt.recovery == "instant")
+        cfg.recovery = cluster::RecoveryPolicy::Instant;
     else
         cfg.recovery = cluster::RecoveryPolicy::Voting;
+
+    cfg.timelineBucket = opt.timelineBucketUs * sim::kMicrosecond;
+    cfg.recoverySloFrac = opt.recoverySloFrac;
+    if (opt.backfillBatch > 0)
+        cfg.node.instantBackfillBatch = opt.backfillBatch;
+    if (opt.backfillIntervalUs > 0)
+        cfg.node.instantBackfillInterval =
+            opt.backfillIntervalUs * sim::kMicrosecond;
 
     cfg.faults.seed = opt.faultSeed;
     cfg.faults.allLinks.dropRate = opt.dropRate;
@@ -723,6 +783,7 @@ printRows(const Options &opt, const std::vector<Row> &rows)
             w.field("schema", "ddp-bench-v1");
             w.field("bench", "ddpsim");
             bench::jsonPerfFields(w, r.model, opt.seed, r.result);
+            w.field("recovery", opt.recovery);
             w.field("lost_acked_keys", r.lost);
             w.field("lost_acked_writes", r.result.lostAckedWrites);
             w.field("xact_aborts", r.result.xactAborted);
@@ -951,6 +1012,7 @@ runTorture(const Options &opt, const workload::Trace *trace)
             w.field("schema", "ddp-bench-v1");
             w.field("bench", "ddpsim-torture");
             bench::jsonPerfFields(w, r.model, opt.seed, r.result);
+            w.field("recovery", opt.recovery);
             w.field("crash_at_us", r.crashAtUs);
             w.field("crash_mode", r.staged ? "partial" : "full");
             w.field("zero_loss_required", r.zeroLoss);

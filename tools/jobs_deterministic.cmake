@@ -1,7 +1,7 @@
 # Byte-compares ddpsim sweep output between --jobs 1 and --jobs 8.
 #
 # Usage:
-#   cmake -DDDPSIM=<path> -DMODE=<sweep|torture|trace>
+#   cmake -DDDPSIM=<path> -DMODE=<sweep|torture|torture_instant|trace>
 #         [-DWORKDIR=<dir>] -P jobs_deterministic.cmake
 #
 # Parallel sweeps must be byte-identical to serial execution (DESIGN.md,
@@ -27,6 +27,12 @@ if(MODE STREQUAL "sweep")
     set(args --all-models ${common_args})
 elseif(MODE STREQUAL "torture")
     set(args --all-models --torture 2 ${common_args})
+elseif(MODE STREQUAL "torture_instant")
+    # Staged instant-recovery torture: on-demand fault-in, background
+    # backfill and the re-join path must all stay deterministic under
+    # parallel sweep execution.
+    set(args --all-models --torture 2 --recovery instant
+        --crash-nodes 1 --restart-after-us 100 ${common_args})
 elseif(MODE STREQUAL "trace")
     set(args --all-models ${common_args})
 else()
